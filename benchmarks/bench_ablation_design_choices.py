@@ -1,0 +1,157 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each test removes or perturbs one modelling ingredient and verifies the
+behaviour the paper attributes to it disappears or shifts accordingly:
+
+* the GPU batch-efficiency knee drives the Insert/Delete penalty (Fig. 6);
+* KC->RD task affinity is what makes co-placement fast (Section III-B1);
+* the RD/WR separation converts random reads into sequential ones;
+* CPU/GPU interference caps co-running gains (Section IV);
+* the wavefront-sized steal chunk amortises synchronisation (Section III-B3).
+"""
+
+import dataclasses
+
+import pytest
+
+from common import emit, run_once
+
+from repro.analysis.reporting import Table
+from repro.core.cost_model import DETAILED_FIDELITY, PipelineAnalyzer
+from repro.core.profiler import WorkloadProfile
+from repro.core.tasks import IndexOp, StageContext, Task, TaskModel
+from repro.hardware.processor import gpu_task_time_ns
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.workloads.ycsb import standard_workload
+
+
+def profile_for(label):
+    return WorkloadProfile.from_spec(standard_workload(label))
+
+
+def test_ablation_gpu_saturation_knee(benchmark):
+    """Raising the GPU's saturation batch deepens the small-batch penalty on
+    Insert/Delete; removing it (tiny knee) nearly erases it."""
+
+    def run():
+        model = TaskModel()
+        shares = {}
+        for knee in (64, 2500, 10_000):
+            gpu = dataclasses.replace(APU_A10_7850K.gpu, saturation_batch=knee)
+            t = {}
+            for op, count in ((IndexOp.SEARCH, 19_000), (IndexOp.INSERT, 1000), (IndexOp.DELETE, 1000)):
+                demand = model.index_demand(op, count, search_buckets=1.77, insert_buckets=2.36)
+                t[op] = gpu_task_time_ns(gpu, count, demand.instructions, demand.pattern, atomic=demand.atomic)
+            shares[knee] = (t[IndexOp.INSERT] + t[IndexOp.DELETE]) / sum(t.values())
+        return shares
+
+    shares = run_once(benchmark, run)
+    table = Table("Ablation — GPU saturation knee vs Insert+Delete time share",
+                  ["saturation_batch", "insert+delete share"])
+    for knee, share in shares.items():
+        table.add(knee, share)
+    emit(table)
+
+    assert shares[64] < shares[2500] < shares[10_000]
+
+
+def test_ablation_task_affinity(benchmark):
+    """RD in the same stage as KC skips the random re-read of the object;
+    disabling the affinity restores the full memory cost."""
+
+    def run():
+        model = TaskModel()
+        line = APU_A10_7850K.cpu.cache_line_bytes
+        out = {}
+        for together in (True, False):
+            context = StageContext(cache_line_bytes=line, with_kc=together)
+            demand = model.demand(
+                Task.RD, 1000, key_size=16, value_size=64, get_ratio=1.0,
+                context=context,
+            )
+            out[together] = demand.pattern.memory_accesses
+        return out
+
+    accesses = run_once(benchmark, run)
+    table = Table("Ablation — KC/RD affinity", ["co-located", "random accesses per RD"])
+    for together, count in accesses.items():
+        table.add(str(together), count)
+    emit(table)
+    assert accesses[True] == 0.0
+    assert accesses[False] > 0.0
+
+
+def test_ablation_rd_wr_separation(benchmark):
+    """Splitting RD and WR across stages makes WR's reads sequential (no
+    random accesses) at the cost of RD writing a staging buffer."""
+
+    def run():
+        model = TaskModel()
+        line = APU_A10_7850K.cpu.cache_line_bytes
+        joined = StageContext(cache_line_bytes=line, with_kc=True, with_rd=True)
+        split_rd = StageContext(cache_line_bytes=line, with_kc=True, rd_feeds_buffer=True)
+        split_wr = StageContext(cache_line_bytes=line, with_rd=False)
+        kwargs = dict(key_size=16, value_size=512, get_ratio=1.0)
+        return {
+            "joined_wr_random": model.demand(Task.WR, 1000, context=joined, **kwargs).pattern.memory_accesses,
+            "split_wr_random": model.demand(Task.WR, 1000, context=split_wr, **kwargs).pattern.memory_accesses,
+            "split_rd_extra_cache": (
+                model.demand(Task.RD, 1000, context=split_rd, **kwargs).pattern.cache_accesses
+                - model.demand(Task.RD, 1000, context=joined, **kwargs).pattern.cache_accesses
+            ),
+        }
+
+    result = run_once(benchmark, run)
+    table = Table("Ablation — RD/WR separation", ["quantity", "value"])
+    for k, v in result.items():
+        table.add(k, v)
+    emit(table)
+    assert result["split_wr_random"] == 0.0  # sequential reads after split
+    assert result["split_rd_extra_cache"] > 0.0  # the buffer is not free
+
+
+def test_ablation_interference(benchmark):
+    """Zeroing the platform's interference strength raises throughput for a
+    co-running pipeline — contention is a real cost in the model."""
+
+    def run():
+        profile = profile_for("K8-G50-U")
+        config = megakv_coupled_config()
+        out = {}
+        for strength in (0.0, APU_A10_7850K.interference_strength):
+            platform = dataclasses.replace(APU_A10_7850K, interference_strength=strength)
+            analyzer = PipelineAnalyzer(platform, DETAILED_FIDELITY)
+            out[strength] = analyzer.estimate(config, profile).throughput_mops
+        return out
+
+    result = run_once(benchmark, run)
+    table = Table("Ablation — CPU/GPU interference strength", ["strength", "MOPS"])
+    for k, v in result.items():
+        table.add(k, v)
+    emit(table)
+    strengths = sorted(result)
+    assert result[strengths[0]] > result[strengths[1]]
+
+
+def test_ablation_steal_chunk_size(benchmark):
+    """Smaller steal chunks mean more synchronisation events: the chunked
+    steal estimate degrades as the chunk shrinks below the wavefront."""
+
+    def run():
+        profile = profile_for("K8-G95-U")
+        config = megakv_coupled_config().with_work_stealing(True)
+        out = {}
+        for chunk in (8, 64, 512):
+            fidelity = dataclasses.replace(DETAILED_FIDELITY, steal_chunk=chunk)
+            analyzer = PipelineAnalyzer(APU_A10_7850K, fidelity)
+            out[chunk] = analyzer.estimate(config, profile).throughput_mops
+        return out
+
+    result = run_once(benchmark, run)
+    table = Table("Ablation — steal chunk size", ["chunk", "MOPS"])
+    for k, v in result.items():
+        table.add(k, v)
+    emit(table)
+    # Tiny chunks pay more sync overhead than the wavefront-sized default.
+    assert result[8] <= result[64] + 1e-9

@@ -1,0 +1,57 @@
+"""Design-space benchmark: the three systems of the paper's Figure 2 framing.
+
+Compares, on the modelled APU, the two published *static* pipeline designs
+(Mega-KV's three stages, MemcachedGPU's two stages) against DIDO's adaptive
+pipeline across representative workloads.  The paper's thesis: on a coupled
+device no static split is right for every workload, while the adaptive
+system matches or beats both everywhere.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.reporting import Table
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.memcachedgpu import measure_memcachedgpu
+from repro.workloads.ycsb import standard_workload
+from repro.core.profiler import WorkloadProfile
+
+LABELS = (
+    "K8-G100-U", "K8-G95-S", "K8-G50-U",
+    "K16-G95-S", "K32-G95-S",
+    "K128-G95-S", "K128-G50-U",
+)
+
+
+def test_design_space(benchmark, harness):
+    def run():
+        rows = []
+        for label in LABELS:
+            spec = standard_workload(label)
+            profile = WorkloadProfile.from_spec(spec)
+            mega = harness.megakv_measure(spec).throughput_mops
+            mcg = measure_memcachedgpu(
+                APU_A10_7850K, profile, harness.latency_budget_ns
+            ).throughput_mops
+            dido = harness.dido_measure(spec).throughput_mops
+            rows.append((label, mega, mcg, dido))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    table = Table(
+        "Design space — static splits vs the adaptive pipeline (MOPS)",
+        ["workload", "Mega-KV (3-stage)", "MemcachedGPU (2-stage)", "DIDO", "DIDO wins"],
+    )
+    for label, mega, mcg, dido in rows:
+        table.add(label, mega, mcg, dido, "yes" if dido >= max(mega, mcg) * 0.99 else "")
+    emit(table)
+
+    # DIDO at least matches the better static design on most workloads...
+    wins = sum(1 for _, mega, mcg, dido in rows if dido >= max(mega, mcg) * 0.99)
+    assert wins >= len(rows) - 2
+    # ... and strictly beats both somewhere.
+    assert any(dido > max(mega, mcg) * 1.1 for _, mega, mcg, dido in rows)
+    # The two static designs are comparable in magnitude (both plausible);
+    # the adaptive system is what separates from the pack.
+    for _, mega, mcg, _ in rows:
+        assert 1 / 3 < mcg / mega < 3.0

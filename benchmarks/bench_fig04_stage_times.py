@@ -1,0 +1,38 @@
+"""Figure 4: execution time of Mega-KV pipeline stages on the coupled APU.
+
+Paper claim: under periodical scheduling with a ~300 us interval, Read &
+Send Value pins at the cap for every dataset while Network Processing stays
+tens of microseconds and Index Operation sits in between, *decreasing* as
+the key-value size grows (smaller batches reach the GPU) — i.e. the static
+pipeline is imbalanced everywhere.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig04_stage_times
+from repro.analysis.reporting import Table
+
+
+def test_fig04_stage_times(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig04_stage_times(harness))
+
+    table = Table(
+        "Figure 4 — Mega-KV (Coupled) stage times (us), G95-S",
+        ["dataset", "batch", "NP", "IN", "RSV"],
+    )
+    for r in rows:
+        table.add(r.dataset, r.batch, r.np_us, r.in_us, r.rsv_us)
+    emit(table)
+
+    assert [r.dataset for r in rows] == ["K8", "K16", "K32", "K128"]
+    for r in rows:
+        # RSV is the bottleneck stage at (close to) the 300 us cap.
+        assert r.rsv_us == max(r.np_us, r.in_us, r.rsv_us)
+        assert r.rsv_us > 250.0
+        # NP is far lighter than the cap (paper: 25-42 us band).
+        assert r.np_us < r.rsv_us / 2
+    # IN decreases monotonically with the key-value size.
+    in_times = [r.in_us for r in rows]
+    assert in_times == sorted(in_times, reverse=True)
+    # Severe imbalance: the lightest stage is a small fraction of the cap.
+    assert min(r.np_us for r in rows) < 60.0

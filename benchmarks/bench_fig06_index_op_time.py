@@ -1,0 +1,42 @@
+"""Figure 6: share of GPU execution time per index operation.
+
+Paper claim: with a 95 % GET workload, Insert and Delete are under 10 % of
+the index operations yet consume 35-56 % of the GPU's execution time,
+because GPUs are extremely inefficient on small batches — the motivation
+for flexible index-operation assignment.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig06_index_op_shares
+from repro.analysis.reporting import Table
+
+
+def test_fig06_index_op_time_shares(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig06_index_op_shares(harness))
+
+    table = Table(
+        "Figure 6 — GPU time share per index op (95 % GET)",
+        ["insert_batch", "search", "insert", "delete", "insert+delete"],
+    )
+    for r in rows:
+        table.add(
+            r.insert_batch,
+            r.search_share,
+            r.insert_share,
+            r.delete_share,
+            r.insert_share + r.delete_share,
+        )
+    emit(table)
+
+    for r in rows:
+        id_share = r.insert_share + r.delete_share
+        op_share = 2 / 21  # Insert+Delete ops vs 19x searches
+        # The headline disproportion: time share far above op share.
+        assert id_share > 2.0 * op_share
+        # Shares are a partition of unity.
+        assert r.search_share + id_share == 1.0 or abs(
+            r.search_share + id_share - 1.0
+        ) < 1e-9
+    # At the small-batch end the penalty is at its worst (>= ~35 %).
+    assert rows[0].insert_share + rows[0].delete_share > 0.35

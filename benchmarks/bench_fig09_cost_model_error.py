@@ -1,0 +1,36 @@
+"""Figure 9: error rate of the cost model over the 24 standard workloads.
+
+Paper claim: the cost model predicts measured DIDO throughput with a
+maximum error around 14 % and an average around 8 % — accurate enough to
+drive configuration selection.  Our planner/simulator split reproduces the
+same band (the error comes from genuinely unmodelled effects: kernel
+overhead residuals, probe-count inflation, interference convergence,
+chunked stealing).
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig09_cost_model_error
+from repro.analysis.reporting import Table
+
+
+def test_fig09_cost_model_error(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig09_cost_model_error(harness))
+
+    table = Table(
+        "Figure 9 — cost model error rate per workload",
+        ["workload", "estimated_MOPS", "measured_MOPS", "error_%"],
+    )
+    for r in rows:
+        table.add(r.workload, r.estimated_mops, r.measured_mops, r.error * 100.0)
+    emit(table)
+
+    assert len(rows) == 24
+    errors = [abs(r.error) for r in rows]
+    average = sum(errors) / len(errors)
+    # Paper: avg 7.7 %, max 14.2 %.  Allow headroom but stay in the band
+    # where the model is clearly usable for planning.
+    assert average < 0.15, f"average error {average:.1%} out of band"
+    assert max(errors) < 0.35
+    # The model must not be a tautology: some error exists.
+    assert max(errors) > 0.01

@@ -1,0 +1,46 @@
+"""Figure 10: DIDO's chosen configuration vs the measured optimum.
+
+Paper claims: the cost model picks the true optimum for most workloads; for
+the mismatches the optimum is only a few percent better (paper: 6.6 % on
+average over 7 mismatches), while a *poor* configuration can be an order of
+magnitude slower — choosing well matters.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig10_optimality
+from repro.analysis.reporting import Table
+
+
+def test_fig10_optimality(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig10_optimality(harness))
+
+    table = Table(
+        "Figure 10 — DIDO vs exhaustive optimum (measured MOPS)",
+        ["workload", "dido", "optimal", "worst", "gap_%", "mismatch"],
+    )
+    for r in rows:
+        table.add(
+            r.workload,
+            r.dido_mops,
+            r.optimal_mops,
+            r.worst_mops,
+            (r.optimal_gap - 1.0) * 100.0,
+            "*" if r.mismatch else "",
+        )
+    emit(table)
+
+    assert len(rows) == 24
+    mismatches = [r for r in rows if r.mismatch]
+    # The model chooses the measured optimum for most workloads.
+    assert len(mismatches) <= 16
+    # Where it differs, the forgone throughput is small (paper: ~6.6 %).
+    if mismatches:
+        avg_gap = sum(r.optimal_gap for r in mismatches) / len(mismatches)
+        assert avg_gap < 1.15
+    # A poor configuration is catastrophically slower for at least some
+    # workloads (paper: "an order of magnitude lower throughput").
+    worst_ratio = min(r.worst_mops / r.dido_mops for r in rows)
+    assert worst_ratio < 0.5
+    # DIDO never chooses something the optimum beats by a large factor.
+    assert all(r.optimal_gap < 1.3 for r in rows)

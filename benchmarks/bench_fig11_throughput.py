@@ -1,0 +1,50 @@
+"""Figure 11: DIDO throughput improvement over Mega-KV (Coupled).
+
+Paper claims: DIDO beats the static baseline on all 24 workloads (up to
+~3x, average ~1.8x), with larger gains for smaller key-values (K8/K16 above
+K32/K128) and for read-intensive mixes (95/100 % GET above 50 % GET).
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig11_throughput
+from repro.analysis.reporting import Table
+
+
+def _avg(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_fig11_throughput(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig11_throughput(harness))
+
+    table = Table(
+        "Figure 11 — DIDO vs Mega-KV (Coupled)",
+        ["workload", "megakv_MOPS", "dido_MOPS", "speedup", "dido_pipeline"],
+    )
+    for r in rows:
+        table.add(r.workload, r.baseline_mops, r.dido_mops, r.speedup, r.dido_config)
+    emit(table)
+
+    assert len(rows) == 24
+    speedups = {r.workload: r.speedup for r in rows}
+    # DIDO wins (or at worst ties) everywhere.
+    assert all(s >= 0.99 for s in speedups.values())
+    # Meaningful average gain (paper: 81 % average).
+    assert _avg(speedups.values()) > 1.4
+    # Somewhere the gain is large (paper: up to 3x).
+    assert max(speedups.values()) > 1.8
+
+    def group(prefix):
+        return _avg(v for k, v in speedups.items() if k.startswith(prefix + "-"))
+
+    def ratio(tag):
+        return _avg(v for k, v in speedups.items() if f"-{tag}-" in k)
+
+    # Key-value-size ordering: small beats large.
+    assert _avg([group("K8"), group("K16")]) > _avg([group("K32"), group("K128")])
+    assert group("K128") == min(group(k) for k in ("K8", "K16", "K32", "K128"))
+    # GET-ratio ordering: read-intensive beats write-heavy.
+    assert ratio("G95") > ratio("G50")
+    assert ratio("G100") > ratio("G50")

@@ -1,0 +1,41 @@
+"""Figure 13: flexible index-operation assignment, pipeline fixed.
+
+Paper claims: with the pipeline pinned to Mega-KV's partitioning, freely
+placing Insert/Delete improves throughput consistently across the 95 % and
+50 % GET workloads, and the 95 % GET gains dominate the 50 % GET ones
+(whose [RV,PP,MM] stage becomes the bottleneck once it also hosts
+Insert/Delete).
+
+Reproduction note (see EXPERIMENTS.md): this is the weakest figure
+quantitatively — under a steady-state pipeline model the technique only
+pays when the GPU stage binds, so our gains are single-digit percent where
+the paper reports up to 56 %.  The orderings (never harmful; G95 >= G50)
+are asserted; the magnitudes are not.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig13_flexible_index
+from repro.analysis.reporting import Table
+
+
+def test_fig13_flexible_index(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig13_flexible_index(harness))
+
+    table = Table(
+        "Figure 13 — flexible index-op assignment (fixed pipeline)",
+        ["workload", "all_on_gpu_MOPS", "best_policy_MOPS", "speedup"],
+    )
+    for r in rows:
+        table.add(r.workload, r.baseline_mops, r.technique_mops, r.speedup)
+    emit(table)
+
+    assert len(rows) == 16  # 95 % and 50 % GET workloads
+    # Free placement can never lose: the all-on-GPU policy is in the set.
+    assert all(r.speedup >= 0.999 for r in rows)
+    # The technique helps somewhere.
+    assert max(r.speedup for r in rows) > 1.0
+
+    g95 = [r.speedup for r in rows if "-G95-" in r.workload]
+    g50 = [r.speedup for r in rows if "-G50-" in r.workload]
+    assert sum(g95) / len(g95) >= sum(g50) / len(g50) - 0.02

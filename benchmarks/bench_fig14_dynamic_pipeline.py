@@ -1,0 +1,35 @@
+"""Figure 14: dynamic pipeline partitioning.
+
+Paper claims: for the (read-intensive) workloads where DIDO chooses a
+different partitioning than Mega-KV's, repartitioning alone yields large
+gains (paper: 69 % average over nine workloads), because the GPU absorbs
+KC/RD once Insert/Delete stop wasting its time.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig14_dynamic_pipeline
+from repro.analysis.reporting import Table
+
+
+def test_fig14_dynamic_pipeline(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig14_dynamic_pipeline(harness))
+
+    table = Table(
+        "Figure 14 — dynamic pipeline partitioning (vs fixed partitioning)",
+        ["workload", "fixed_MOPS", "dynamic_MOPS", "speedup", "chosen_pipeline"],
+    )
+    for r in rows:
+        table.add(r.workload, r.baseline_mops, r.technique_mops, r.speedup, r.detail)
+    emit(table)
+
+    # DIDO repartitions for a substantial set of workloads (paper: 9).
+    assert len(rows) >= 6
+    speedups = [r.speedup for r in rows]
+    # Repartitioning pays on average (paper: +69 %).
+    assert sum(speedups) / len(speedups) > 1.25
+    # Read-intensive workloads dominate the repartitioned set.
+    read_intensive = [r for r in rows if "-G95-" in r.workload or "-G100-" in r.workload]
+    assert len(read_intensive) >= len(rows) * 0.6
+    # The biggest wins are large.
+    assert max(speedups) > 1.6

@@ -1,0 +1,44 @@
+"""Figure 15: performance improvement by work stealing.
+
+Paper claims: applied on top of the other two techniques, work stealing
+adds an average 15.7 % across the 24 workloads, with the largest gains on
+small key-values (K8 ~28 %) shrinking for large ones (K128 ~6 %) because
+the GPU is inefficient at reading/writing large stolen objects.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig15_work_stealing
+from repro.analysis.reporting import Table
+
+
+def _avg(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_fig15_work_stealing(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig15_work_stealing(harness))
+
+    table = Table(
+        "Figure 15 — work stealing on top of the chosen configuration",
+        ["workload", "no_steal_MOPS", "steal_MOPS", "speedup"],
+    )
+    for r in rows:
+        table.add(r.workload, r.baseline_mops, r.technique_mops, r.speedup)
+    emit(table)
+
+    assert len(rows) == 24
+    speedups = {r.workload: r.speedup for r in rows}
+    # Stealing never hurts.
+    assert all(s >= 0.99 for s in speedups.values())
+    # It helps overall and substantially somewhere.
+    assert _avg(speedups.values()) > 1.01
+    assert max(speedups.values()) > 1.05
+
+    def group(prefix):
+        return _avg(v for k, v in speedups.items() if k.startswith(prefix + "-"))
+
+    # Size ordering: small key-values benefit at least as much as large
+    # ones (paper: 28 % for K8 down to 6 % for K128).
+    assert group("K8") >= group("K128") - 0.01

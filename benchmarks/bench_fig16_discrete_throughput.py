@@ -1,0 +1,37 @@
+"""Figure 16: throughput, DIDO (APU) vs Mega-KV (Discrete).
+
+Paper claims: the dual-Xeon/dual-GTX780 testbed outruns the APU by a large
+factor (5.8-23.6x) on the 12 shared workloads — DIDO's contribution is not
+absolute speed but efficiency on cheap coupled silicon (Figures 17-18).
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig16_discrete_comparison
+from repro.analysis.reporting import Table
+
+
+def test_fig16_discrete_throughput(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig16_discrete_comparison(harness))
+
+    table = Table(
+        "Figure 16 — throughput (MOPS): discrete Mega-KV vs coupled systems",
+        ["workload", "megakv_discrete", "megakv_coupled", "dido", "discrete/dido"],
+    )
+    for r in rows:
+        table.add(
+            r.workload,
+            r.megakv_discrete_mops,
+            r.megakv_coupled_mops,
+            r.dido_mops,
+            r.megakv_discrete_mops / r.dido_mops,
+        )
+    emit(table)
+
+    assert len(rows) == 12
+    ratios = [r.megakv_discrete_mops / r.dido_mops for r in rows]
+    # Discrete hardware wins every workload by a wide margin.
+    assert all(ratio > 2.0 for ratio in ratios)
+    assert max(ratios) > 3.5
+    # But DIDO still beats the coupled port of Mega-KV everywhere.
+    assert all(r.dido_mops >= r.megakv_coupled_mops * 0.99 for r in rows)

@@ -1,0 +1,31 @@
+"""Figure 17: price-performance ratio (KOPS per USD).
+
+Paper claims: the discrete testbed's processors cost ~25x the APU's, so
+despite its raw speed DIDO wins price-performance on every shared workload
+(paper: 1.1-4.3x better).
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig16_discrete_comparison
+from repro.analysis.reporting import Table
+
+
+def test_fig17_price_performance(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig16_discrete_comparison(harness))
+
+    table = Table(
+        "Figure 17 — price-performance (KOPS/USD)",
+        ["workload", "dido", "megakv_discrete", "dido_advantage"],
+    )
+    advantages = []
+    for r in rows:
+        dido_pp, discrete_pp = r.price_performance()
+        advantages.append(dido_pp / discrete_pp)
+        table.add(r.workload, dido_pp, discrete_pp, dido_pp / discrete_pp)
+    emit(table)
+
+    # DIDO wins price-performance on every workload (paper: 1.1-4.3x).
+    assert all(a > 1.0 for a in advantages)
+    assert max(advantages) > 1.5
+    assert min(advantages) < 6.0  # sanity: not absurdly inflated

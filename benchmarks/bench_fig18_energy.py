@@ -1,0 +1,32 @@
+"""Figure 18: energy efficiency (KOPS per watt of TDP).
+
+Paper claims: the comparison is *inconclusive* — the discrete testbed wins
+on some workloads (small and large keys), DIDO wins on others (16-byte
+keys); neither platform dominates.  The structural reason: 690 W of
+discrete TDP vs the APU's 95 W roughly offsets the raw throughput gap.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig16_discrete_comparison
+from repro.analysis.reporting import Table
+
+
+def test_fig18_energy_efficiency(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig16_discrete_comparison(harness))
+
+    table = Table(
+        "Figure 18 — energy efficiency (KOPS/W)",
+        ["workload", "dido", "megakv_discrete", "dido/discrete"],
+    )
+    ratios = []
+    for r in rows:
+        dido_ee, discrete_ee = r.energy_efficiency()
+        ratios.append(dido_ee / discrete_ee)
+        table.add(r.workload, dido_ee, discrete_ee, dido_ee / discrete_ee)
+    emit(table)
+
+    # Inconclusive: the two platforms are within one order of magnitude of
+    # each other everywhere, and the ratio varies across workloads.
+    assert all(0.1 < ratio < 10.0 for ratio in ratios)
+    assert max(ratios) / min(ratios) > 1.15  # workload-dependent

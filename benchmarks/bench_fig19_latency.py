@@ -1,0 +1,41 @@
+"""Figure 19: DIDO's improvement under different system-latency budgets.
+
+Paper claims: DIDO keeps a solid improvement over the baseline when the
+average latency limit tightens from 1,000 us to 800 us and 600 us (paper:
+20-27 % average on four representative workloads) — tighter budgets shrink
+GPU batches, but the dynamic pipeline still wins.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.experiments import fig19_latency_budgets
+from repro.analysis.reporting import Table
+
+
+def test_fig19_latency_budgets(benchmark, harness):
+    rows = run_once(benchmark, lambda: fig19_latency_budgets(harness))
+
+    table = Table(
+        "Figure 19 — improvement vs latency budget",
+        ["workload", "latency_us", "megakv_MOPS", "dido_MOPS", "improvement_%"],
+    )
+    for r in rows:
+        table.add(
+            r.workload, r.latency_us, r.baseline_mops, r.dido_mops,
+            r.improvement * 100.0,
+        )
+    emit(table)
+
+    assert len(rows) == 12  # 4 workloads x 3 budgets
+    # DIDO never loses at any budget.
+    assert all(r.improvement >= -0.01 for r in rows)
+    # Meaningful average improvement at every budget level.
+    for budget in (600.0, 800.0, 1000.0):
+        at_budget = [r.improvement for r in rows if r.latency_us == budget]
+        assert sum(at_budget) / len(at_budget) > 0.05, f"budget {budget}"
+    # Throughput itself degrades as the budget tightens (smaller batches).
+    for workload in {r.workload for r in rows}:
+        series = sorted(
+            (r for r in rows if r.workload == workload), key=lambda r: r.latency_us
+        )
+        assert series[0].dido_mops <= series[-1].dido_mops * 1.05

@@ -1,0 +1,55 @@
+"""Extension benchmark: per-query latency distribution (beyond the paper).
+
+The paper reports only the average-latency bound; this bench derives the
+full distribution implied by periodical scheduling for both systems.  DIDO
+improves *throughput* at equal latency budget — and because it often plans
+the same three-stage depth, its tail latency stays within the same envelope
+as Mega-KV's.
+"""
+
+from common import emit, run_once
+
+from repro.analysis.latency import latency_profile
+from repro.analysis.reporting import Table
+from repro.workloads.ycsb import standard_workload
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.core.profiler import WorkloadProfile
+
+LABELS = ("K8-G95-S", "K16-G95-S", "K32-G95-S", "K128-G95-S")
+
+
+def test_latency_distribution(benchmark, harness):
+    def run():
+        rows = []
+        for label in LABELS:
+            spec = standard_workload(label)
+            profile = WorkloadProfile.from_spec(spec)
+            mega = harness.megakv_exec.estimate(
+                megakv_coupled_config(), profile, harness.latency_budget_ns
+            )
+            config, _ = harness.dido_plan(spec)
+            dido = harness.executor.estimate(
+                config, profile, harness.latency_budget_ns
+            )
+            rows.append((label, latency_profile(mega), latency_profile(dido)))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    table = Table(
+        "Latency distribution (us): Mega-KV vs DIDO at a 1,000 us budget",
+        ["workload", "mega_p50", "mega_p99", "dido_p50", "dido_p99"],
+    )
+    for label, mega, dido in rows:
+        table.add(label, mega.p50_us, mega.p99_us, dido.p50_us, dido.p99_us)
+    emit(table)
+
+    for label, mega, dido in rows:
+        # Both systems respect the budget on average ...
+        assert mega.mean_us <= 1050.0
+        assert dido.mean_us <= 1050.0
+        # ... and even the worst-case query stays within ~1.4x of it.
+        assert mega.worst_us <= 1400.0
+        assert dido.worst_us <= 1400.0
+        # Percentiles are ordered sanely.
+        assert dido.p50_us < dido.p99_us <= dido.worst_us

@@ -1,0 +1,19 @@
+"""Output helpers shared by the benchmark files (kept outside conftest so
+they import unambiguously even when tests/ and benchmarks/ are collected in
+one pytest invocation)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import Table
+
+
+def emit(table: Table) -> None:
+    """Print a results table, bypassing pytest capture."""
+    print("\n" + table.render() + "\n", file=sys.__stdout__, flush=True)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

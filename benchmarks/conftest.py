@@ -1,0 +1,30 @@
+"""Shared fixtures and output helpers for the benchmark suite.
+
+Every ``bench_figNN_*.py`` regenerates one figure of the paper: it runs the
+corresponding :mod:`repro.analysis.experiments` harness function once inside
+``benchmark.pedantic`` (these are deterministic simulations — repeated
+rounds only re-measure Python overhead), prints the figure's rows as a
+table, and asserts the paper's qualitative claims.
+
+Tables are written to the real stdout so they appear in redirected benchmark
+logs even under pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make `from common import ...` work regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.analysis.experiments import Harness
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    """One shared harness: executors and planner caches persist across
+    benchmarks, mirroring a long-running evaluation session."""
+    return Harness()

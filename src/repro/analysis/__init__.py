@@ -1,0 +1,26 @@
+"""Analysis helpers: metrics, paper-style reporting, and the figure harness.
+
+* :mod:`repro.analysis.metrics` — derived metrics (speedups, error rates,
+  price-performance, energy efficiency);
+* :mod:`repro.analysis.reporting` — fixed-width tables matching the rows the
+  paper's figures plot;
+* :mod:`repro.analysis.experiments` — one function per paper figure, shared
+  by the benchmark suite and EXPERIMENTS.md generation.
+"""
+
+from repro.analysis.metrics import (
+    energy_efficiency_kops_per_watt,
+    error_rate,
+    price_performance_kops_per_usd,
+    speedup,
+)
+from repro.analysis.reporting import Table, format_row
+
+__all__ = [
+    "Table",
+    "energy_efficiency_kops_per_watt",
+    "error_rate",
+    "format_row",
+    "price_performance_kops_per_usd",
+    "speedup",
+]

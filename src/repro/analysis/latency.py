@@ -1,0 +1,65 @@
+"""Analytic latency distribution under periodical scheduling.
+
+The paper reports average latency bounds ("always limited within 1,000
+microseconds"); this helper derives the full per-query latency distribution
+implied by the batching discipline, so users can reason about tail latency
+too:
+
+* batches are issued every period ``P = Tmax``;
+* batch assembly overlaps the previous batch's processing, so a query
+  waits uniformly on ``[0, 2/3 P)`` before its batch launches (mean
+  ``P/3`` — the scheduler's assembly fraction);
+* the batch then traverses ``m`` stages, each occupying one period.
+
+Hence per-query latency is uniform on ``[m P, (m + 2/3) P)`` — the mean is
+``(m + 1/3) P``, matching the budget rule the batch sizer enforces, and any
+percentile is linear in the period.  Work stealing shortens ``P`` and
+therefore every percentile; deeper pipelines trade throughput (larger
+aggregate batches) against traversal latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import PipelineEstimate
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Per-query latency distribution for one steady-state operating point."""
+
+    period_us: float
+    stages: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    worst_us: float
+
+    #: Width of the assembly-wait window in periods (2 x the scheduler's
+    #: assembly fraction, so the mean wait matches it).
+    ASSEMBLY_WINDOW = 2.0 / 3.0
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0-100)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile must be within [0, 100]")
+        return (self.stages + self.ASSEMBLY_WINDOW * q / 100.0) * self.period_us
+
+
+def latency_profile(estimate: PipelineEstimate) -> LatencyProfile:
+    """Latency distribution implied by a pipeline estimate."""
+    period_us = estimate.tmax_ns / 1000.0
+    stages = estimate.config.num_stages
+    window = LatencyProfile.ASSEMBLY_WINDOW
+    return LatencyProfile(
+        period_us=period_us,
+        stages=stages,
+        mean_us=(stages + window / 2.0) * period_us,
+        p50_us=(stages + window * 0.50) * period_us,
+        p95_us=(stages + window * 0.95) * period_us,
+        p99_us=(stages + window * 0.99) * period_us,
+        worst_us=(stages + window) * period_us,
+    )

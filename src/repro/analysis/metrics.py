@@ -1,0 +1,43 @@
+"""Derived metrics used across the evaluation (paper Section V).
+
+All inputs are plain numbers so these helpers are trivially testable and
+reusable by both the benchmark harness and ad-hoc scripts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def speedup(new_mops: float, baseline_mops: float) -> float:
+    """Throughput ratio ``new / baseline`` (1.0 = parity)."""
+    if baseline_mops <= 0:
+        raise ConfigurationError("baseline throughput must be positive")
+    return new_mops / baseline_mops
+
+
+def improvement_pct(new_mops: float, baseline_mops: float) -> float:
+    """Relative improvement in percent (the paper's "% faster")."""
+    return (speedup(new_mops, baseline_mops) - 1.0) * 100.0
+
+
+def error_rate(measured: float, estimated: float) -> float:
+    """Cost-model error rate, paper Section V-B:
+    ``(T_DIDO - T_Model) / T_DIDO`` where both are throughputs."""
+    if measured <= 0:
+        raise ConfigurationError("measured throughput must be positive")
+    return (measured - estimated) / measured
+
+
+def price_performance_kops_per_usd(throughput_mops: float, price_usd: float) -> float:
+    """KOPS per dollar (paper Figure 17)."""
+    if price_usd <= 0:
+        raise ConfigurationError("price must be positive")
+    return throughput_mops * 1000.0 / price_usd
+
+
+def energy_efficiency_kops_per_watt(throughput_mops: float, tdp_watts: float) -> float:
+    """KOPS per watt of TDP (paper Figure 18's back-of-envelope metric)."""
+    if tdp_watts <= 0:
+        raise ConfigurationError("TDP must be positive")
+    return throughput_mops * 1000.0 / tdp_watts

@@ -1,0 +1,61 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness prints one table per paper figure; these helpers keep
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """One row with right-padded cells (floats rendered to 3 significant-ish
+    decimals, everything else via ``str``)."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            text = f"{cell:.3f}"
+        else:
+            text = str(cell)
+        parts.append(text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+@dataclass
+class Table:
+    """A printable fixed-width table with a title (one per figure)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                text = f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+                widths[i] = max(widths[i], len(text))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(format_row(self.columns, widths))
+        lines.append(format_row(["-" * w for w in widths], widths))
+        for row in self.rows:
+            lines.append(format_row(row, widths))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table (benchmarks call this so ``pytest -s`` shows it)."""
+        print()
+        print(self.render())

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``plan WORKLOAD``
+    Show the configuration DIDO's cost model picks for a workload label
+    (e.g. ``K16-G95-S``), with the ranked alternatives.
+``measure WORKLOAD [--config megakv] [--latency-us N]``
+    Measure a configuration on the modelled APU (detailed simulator).
+``figures [IDS ...]``
+    Regenerate paper figures (e.g. ``fig11 fig15``; default: the quick ones)
+    and print their tables.
+``serve [--host H] [--port P]``
+    Run a real UDP key-value server backed by an adaptive DIDO system.
+``workloads``
+    List the 24 standard paper workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import Table
+from repro.core.config_search import ConfigurationSearch
+from repro.core.cost_model import CostModel
+from repro.core.profiler import WorkloadProfile
+from repro.errors import ReproError
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.workloads.ycsb import STANDARD_WORKLOADS, standard_workload
+
+#: Figures cheap enough for interactive use (the rest live in benchmarks/).
+_QUICK_FIGURES = ("fig04", "fig05", "fig06", "fig11", "fig12")
+
+
+def _profile(label: str) -> WorkloadProfile:
+    return WorkloadProfile.from_spec(standard_workload(label))
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    table = Table("Standard workloads (paper Section V-A)", ["label", "key", "value", "GET", "distribution"])
+    for spec in STANDARD_WORKLOADS:
+        table.add(
+            spec.label,
+            spec.dataset.key_size,
+            spec.dataset.value_size,
+            f"{spec.get_ratio:.0%}",
+            "zipf-0.99" if spec.skewed else "uniform",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    profile = _profile(args.workload)
+    search = ConfigurationSearch(CostModel(APU_A10_7850K))
+    ranked = search.rank(profile, args.latency_us * 1000.0)
+    table = Table(
+        f"Cost-model ranking for {args.workload}",
+        ["rank", "est_MOPS", "pipeline"],
+    )
+    for i, entry in enumerate(ranked[: args.top], start=1):
+        table.add(i, entry.throughput_mops, entry.config.label)
+    print(table.render())
+    print(f"\nchosen: {ranked[0].config.label}")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    profile = _profile(args.workload)
+    executor = PipelineExecutor(APU_A10_7850K)
+    if args.config == "megakv":
+        config = megakv_coupled_config()
+        label = "Mega-KV (Coupled) static pipeline"
+    else:
+        search = ConfigurationSearch(CostModel(APU_A10_7850K))
+        config = search.best(profile, args.latency_us * 1000.0).config
+        label = "DIDO's chosen pipeline"
+    m = executor.measure(config, profile, args.latency_us * 1000.0)
+    print(f"{label}: {config.label}")
+    table = Table(f"Measured on the modelled APU ({args.workload})", ["metric", "value"])
+    table.add("throughput (MOPS)", m.throughput_mops)
+    table.add("batch size", m.batch_size)
+    table.add("period (us)", m.tmax_us)
+    table.add("CPU utilisation", m.cpu_utilization)
+    table.add("GPU utilisation", m.gpu_utilization)
+    for stage in m.stages():
+        table.add(f"stage {stage.label} (us)", stage.time_us)
+    print(table.render())
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as X
+
+    harness = X.Harness()
+    wanted = args.ids or list(_QUICK_FIGURES)
+    renderers = {
+        "fig04": _render_fig04,
+        "fig05": _render_fig05,
+        "fig06": _render_fig06,
+        "fig09": _render_fig09,
+        "fig11": _render_fig11,
+        "fig12": _render_fig12,
+        "fig15": _render_fig15,
+    }
+    unknown = [w for w in wanted if w not in renderers]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {sorted(renderers)}", file=sys.stderr)
+        return 2
+    for fig in wanted:
+        renderers[fig](harness)
+        print()
+    return 0
+
+
+def _render_fig04(h) -> None:
+    from repro.analysis.experiments import fig04_stage_times
+
+    table = Table("Figure 4 — Mega-KV stage times (us)", ["dataset", "NP", "IN", "RSV"])
+    for r in fig04_stage_times(h):
+        table.add(r.dataset, r.np_us, r.in_us, r.rsv_us)
+    print(table.render())
+
+
+def _render_fig05(h) -> None:
+    from repro.analysis.experiments import fig04_stage_times
+
+    table = Table("Figure 5 — Mega-KV GPU utilisation", ["dataset", "gpu", "cpu"])
+    for r in fig04_stage_times(h):
+        table.add(r.dataset, r.gpu_utilization, r.cpu_utilization)
+    print(table.render())
+
+
+def _render_fig06(h) -> None:
+    from repro.analysis.experiments import fig06_index_op_shares
+
+    table = Table(
+        "Figure 6 — GPU index-op time shares", ["insert_batch", "search", "insert", "delete"]
+    )
+    for r in fig06_index_op_shares(h):
+        table.add(r.insert_batch, r.search_share, r.insert_share, r.delete_share)
+    print(table.render())
+
+
+def _render_fig09(h) -> None:
+    from repro.analysis.experiments import fig09_cost_model_error
+
+    table = Table("Figure 9 — cost model error", ["workload", "est", "meas", "err_%"])
+    for r in fig09_cost_model_error(h):
+        table.add(r.workload, r.estimated_mops, r.measured_mops, r.error * 100)
+    print(table.render())
+
+
+def _render_fig11(h) -> None:
+    from repro.analysis.experiments import fig11_throughput
+
+    table = Table(
+        "Figure 11 — DIDO vs Mega-KV (Coupled)", ["workload", "megakv", "dido", "speedup"]
+    )
+    for r in fig11_throughput(h):
+        table.add(r.workload, r.baseline_mops, r.dido_mops, r.speedup)
+    print(table.render())
+
+
+def _render_fig12(h) -> None:
+    from repro.analysis.experiments import fig12_utilization
+
+    table = Table(
+        "Figure 12 — utilisation", ["workload", "dido_gpu", "megakv_gpu", "dido_cpu", "megakv_cpu"]
+    )
+    for r in fig12_utilization(h):
+        table.add(r.workload, r.dido_gpu, r.megakv_gpu, r.dido_cpu, r.megakv_cpu)
+    print(table.render())
+
+
+def _render_fig15(h) -> None:
+    from repro.analysis.experiments import fig15_work_stealing
+
+    table = Table(
+        "Figure 15 — work stealing", ["workload", "no_steal", "steal", "speedup"]
+    )
+    for r in fig15_work_stealing(h):
+        table.add(r.workload, r.baseline_mops, r.technique_mops, r.speedup)
+    print(table.render())
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.dido import DidoSystem
+    from repro.server import DidoUDPServer
+
+    system = DidoSystem(
+        memory_bytes=args.memory_mb << 20, expected_objects=args.expected_objects
+    )
+    server = DidoUDPServer((args.host, args.port), system=system)
+    host, port = server.address
+    print(f"serving on {host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+        print(f"\n{server.stats}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIDO (ICDE 2017) reproduction: plan, measure, serve.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the 24 standard workloads")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("plan", help="rank pipeline configurations for a workload")
+    p.add_argument("workload", help="label like K16-G95-S")
+    p.add_argument("--top", type=int, default=8, help="rows to show")
+    p.add_argument("--latency-us", type=float, default=1000.0)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("measure", help="measure a configuration on the APU model")
+    p.add_argument("workload")
+    p.add_argument("--config", choices=("dido", "megakv"), default="dido")
+    p.add_argument("--latency-us", type=float, default=1000.0)
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("ids", nargs="*", help=f"figure ids (default: {' '.join(_QUICK_FIGURES)})")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("serve", help="run a UDP key-value server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=11311)
+    p.add_argument("--memory-mb", type=int, default=64)
+    p.add_argument("--expected-objects", type=int, default=65536)
+    p.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""UDP client for a :class:`~repro.server.DidoUDPServer`.
+
+Provides both a convenient per-call API (``get``/``set``/``delete``) and the
+batch API the paper's clients use (many queries per datagram, responses
+matched by order).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kv.protocol import (
+    Query,
+    QueryType,
+    Response,
+    ResponseStatus,
+    decode_responses,
+    encode_queries,
+)
+from repro.server import MAX_DATAGRAM
+
+
+class TimeoutError_(ConfigurationError):
+    """The server did not answer within the client timeout."""
+
+
+@dataclass
+class ClientStats:
+    batches_sent: int = 0
+    responses_received: int = 0
+    timeouts: int = 0
+
+
+class DidoClient:
+    """Blocking UDP client speaking the repro binary protocol.
+
+    Parameters
+    ----------
+    address:
+        The server's ``(host, port)``.
+    timeout_s:
+        Receive timeout per batch.
+    """
+
+    def __init__(self, address: tuple[str, int], timeout_s: float = 2.0):
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout must be positive")
+        self._address = address
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.settimeout(timeout_s)
+        self.stats = ClientStats()
+
+    def __enter__(self) -> "DidoClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._socket.close()
+
+    # ---------------------------------------------------------------- batch
+
+    def execute(self, queries: list[Query]) -> list[Response]:
+        """Send one batch; block until all responses arrive (order matches
+        the queries).  Batches larger than a UDP datagram are split across
+        several sends; the server coalesces them back into one pipeline
+        batch within its batching window."""
+        if not queries:
+            return []
+        for group in _datagram_groups(queries):
+            self._socket.sendto(encode_queries(group), self._address)
+        self.stats.batches_sent += 1
+        responses: list[Response] = []
+        while len(responses) < len(queries):
+            try:
+                payload, _ = self._socket.recvfrom(MAX_DATAGRAM)
+            except socket.timeout:
+                self.stats.timeouts += 1
+                raise TimeoutError_(
+                    f"server answered {len(responses)}/{len(queries)} queries"
+                ) from None
+            try:
+                responses.extend(decode_responses(payload))
+            except ProtocolError as exc:
+                raise TimeoutError_(f"undecodable response: {exc}") from exc
+        self.stats.responses_received += len(responses)
+        return responses
+
+    # ------------------------------------------------------------ one-shots
+
+    def set(self, key: bytes, value: bytes) -> bool:
+        """Store ``key -> value``; True when the server acknowledged."""
+        response = self.execute([Query(QueryType.SET, key, value)])[0]
+        return response.status is ResponseStatus.STORED
+
+    def get(self, key: bytes) -> bytes | None:
+        """Fetch ``key``'s value, or None on a miss."""
+        response = self.execute([Query(QueryType.GET, key)])[0]
+        if response.status is ResponseStatus.OK:
+            return response.value
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; True when it existed."""
+        response = self.execute([Query(QueryType.DELETE, key)])[0]
+        return response.status is ResponseStatus.DELETED
+
+    def mget(self, keys: list[bytes]) -> dict[bytes, bytes]:
+        """Batch GET; returns only the hits."""
+        queries = [Query(QueryType.GET, key) for key in keys]
+        out: dict[bytes, bytes] = {}
+        for key, response in zip(keys, self.execute(queries)):
+            if response.status is ResponseStatus.OK:
+                out[key] = response.value
+        return out
+
+
+#: Keep client datagrams comfortably below the receive buffer bound.
+_MAX_SEND_PAYLOAD = 48 * 1024
+
+
+def _datagram_groups(queries: list[Query]) -> list[list[Query]]:
+    """Split a batch into datagram-sized groups (order preserved)."""
+    groups: list[list[Query]] = []
+    current: list[Query] = []
+    size = 0
+    for query in queries:
+        wire = query.wire_size
+        if current and size + wire > _MAX_SEND_PAYLOAD:
+            groups.append(current)
+            current, size = [], 0
+        current.append(query)
+        size += wire
+    if current:
+        groups.append(current)
+    return groups

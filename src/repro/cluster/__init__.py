@@ -1,0 +1,16 @@
+"""Multi-node substrate: consistent hashing over DIDO nodes.
+
+The paper's motivation (Section II-C1) notes that production IMKV traffic
+shifts abruptly "when machines go down, keys will be redistributed with
+consistent hashing, which may change the workload characteristics of other
+IMKV nodes".  This package provides that substrate: a consistent-hash ring
+(:mod:`repro.cluster.ring`) routing client queries across a fleet of
+:class:`~repro.core.dido.DidoSystem` nodes (:mod:`repro.cluster.fleet`),
+so node failure genuinely redistributes keys and each surviving node's
+adaptation controller reacts to its new mix.
+"""
+
+from repro.cluster.fleet import KVCluster, NodeStats
+from repro.cluster.ring import HashRing
+
+__all__ = ["HashRing", "KVCluster", "NodeStats"]

@@ -1,0 +1,118 @@
+"""Runtime adaptation: re-plan the pipeline when the workload shifts.
+
+Implements the paper's adaptation mechanism (Sections III-A and V-F):
+
+* the profiler closes a window per batch and produces a profile;
+* if any profiled counter changed by more than 10 % relative to the profile
+  the current configuration was planned for, the cost model re-ranks the
+  configuration space and the best plan is adopted;
+* the new plan applies to the *next* batch — in-flight batches carry their
+  own pipeline information, so a switch never corrupts processing but does
+  delay the throughput recovery (the ~1 ms lag visible in Figure 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config_search import ConfigurationSearch
+from repro.core.cost_model import CostModel, PipelineEstimate
+from repro.core.profiler import WorkloadProfile, profile_delta
+from repro.hardware.specs import PlatformSpec
+from repro.core.pipeline_config import PipelineConfig
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """Record of one re-planning decision."""
+
+    batch_index: int
+    trigger_change: float
+    old_label: str
+    new_label: str
+    estimated_mops: float
+
+    @property
+    def changed(self) -> bool:
+        return self.old_label != self.new_label
+
+
+class AdaptationController:
+    """Owns the planning loop: profile in, pipeline configuration out.
+
+    Parameters
+    ----------
+    platform:
+        Hardware the cost model plans for.
+    latency_budget_ns:
+        The latency limit the periodical scheduler must respect.
+    work_stealing:
+        Whether chosen plans enable stealing (on by default, as in DIDO).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        latency_budget_ns: float = 1_000_000.0,
+        work_stealing: bool = True,
+    ):
+        self.cost_model = CostModel(platform)
+        self.search = ConfigurationSearch(self.cost_model)
+        self.latency_budget_ns = latency_budget_ns
+        self.work_stealing = work_stealing
+        self._planned_for: WorkloadProfile | None = None
+        self._current: PipelineConfig | None = None
+        self._current_estimate: PipelineEstimate | None = None
+        self._batch_index = 0
+        self.events: list[AdaptationEvent] = []
+
+    # ------------------------------------------------------------- planning
+
+    @property
+    def current_config(self) -> PipelineConfig | None:
+        return self._current
+
+    @property
+    def current_estimate(self) -> PipelineEstimate | None:
+        return self._current_estimate
+
+    def config_for(self, profile: WorkloadProfile) -> PipelineConfig:
+        """The configuration to use for the batch following ``profile``.
+
+        First call always plans; afterwards re-planning happens only on a
+        substantial (>10 %) profile change, so steady workloads pay nothing.
+        """
+        self._batch_index += 1
+        if self._current is not None and self._planned_for is not None:
+            delta = profile_delta(profile, self._planned_for)
+            if not delta.substantial:
+                return self._current
+            trigger = delta.max_change
+        else:
+            trigger = float("inf")
+        best = self.search.best(
+            profile, self.latency_budget_ns, work_stealing=self.work_stealing
+        )
+        old_label = self._current.label if self._current is not None else "<none>"
+        self.events.append(
+            AdaptationEvent(
+                batch_index=self._batch_index,
+                trigger_change=trigger,
+                old_label=old_label,
+                new_label=best.config.label,
+                estimated_mops=best.estimate.throughput_mops,
+            )
+        )
+        self._planned_for = profile
+        self._current = best.config
+        self._current_estimate = best.estimate
+        return best.config
+
+    def force_replan(self) -> None:
+        """Invalidate the current plan (next profile will re-plan)."""
+        self._planned_for = None
+
+    @property
+    def replan_count(self) -> int:
+        """Number of times the search actually ran."""
+        return len(self.events)

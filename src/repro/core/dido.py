@@ -1,0 +1,168 @@
+"""The assembled DIDO system (paper Figure 7).
+
+:class:`DidoSystem` wires every component together: the simulated NIC feeds
+frames to the functional pipeline, the workload profiler watches each batch,
+the cost-model-guided controller re-plans the pipeline on substantial
+workload change, and the detailed executor measures what the chosen
+configuration achieves on the modelled APU.
+
+Two usage styles:
+
+* **functional** — :meth:`process` / :meth:`process_frames` push real
+  queries through the real store under the currently planned pipeline and
+  return real responses (what the correctness tests and examples use);
+* **analytical** — :meth:`measure_steady_state` evaluates the planned
+  configuration's throughput/utilisation on the hardware model (what the
+  benchmark harness uses to regenerate the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import AdaptationController
+from repro.core.profiler import WorkloadProfile, WorkloadProfiler
+from repro.errors import WorkloadError
+from repro.hardware.specs import APU_A10_7850K, PlatformSpec
+from repro.kv.protocol import Query, Response, decode_queries
+from repro.kv.store import KVStore
+from repro.net.nic import SimulatedNIC
+from repro.net.packets import Frame, frames_for_queries
+from repro.pipeline.executor import PipelineExecutor, PipelineMeasurement
+from repro.pipeline.functional import BatchResult, FunctionalPipeline
+from repro.core.pipeline_config import PipelineConfig
+
+
+@dataclass
+class SystemReport:
+    """Summary of a :class:`DidoSystem` run."""
+
+    batches: int
+    queries: int
+    replans: int
+    current_pipeline: str
+    estimated_mops: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return (
+            f"batches={self.batches} queries={self.queries} "
+            f"replans={self.replans} pipeline={self.current_pipeline} "
+            f"est={self.estimated_mops:.1f} MOPS"
+        )
+
+
+class DidoSystem:
+    """An in-memory key-value store with dynamic pipeline execution.
+
+    Parameters
+    ----------
+    platform:
+        Hardware model (defaults to the paper's A10-7850K APU).
+    memory_bytes:
+        Slab budget for objects; defaults to the platform's shareable region.
+    expected_objects:
+        Index sizing hint.
+    latency_budget_ns:
+        The periodical scheduler's latency limit (paper: 1,000 us).
+    work_stealing:
+        Enable work stealing in planned configurations.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec = APU_A10_7850K,
+        *,
+        memory_bytes: int | None = None,
+        expected_objects: int = 1 << 16,
+        latency_budget_ns: float = 1_000_000.0,
+        work_stealing: bool = True,
+    ):
+        self.platform = platform
+        budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
+        self.store = KVStore(budget, expected_objects)
+        self.nic = SimulatedNIC()
+        self.profiler = WorkloadProfiler()
+        self.controller = AdaptationController(
+            platform, latency_budget_ns, work_stealing=work_stealing
+        )
+        self.executor = PipelineExecutor(platform)
+        self.pipeline = FunctionalPipeline(self.store, epoch_source=lambda: self.profiler.epoch)
+        self.latency_budget_ns = latency_budget_ns
+        self._batches = 0
+        self._queries = 0
+
+    # ------------------------------------------------------------ functional
+
+    def process(self, queries: list[Query]) -> BatchResult:
+        """Process one batch of queries under the adaptive pipeline.
+
+        Profiles the batch, asks the controller for the configuration (which
+        re-plans only on substantial change), executes functionally, and
+        feeds observed object frequencies back into the profiler for the
+        skew estimator.
+        """
+        if not queries:
+            raise WorkloadError("cannot process an empty batch")
+        self.profiler.observe_batch(queries)
+        self.profiler.observe_insert_buckets(self.store.index.stats.average_insert_buckets())
+        profile = self.profiler.snapshot()
+        self._harvest_frequencies()
+        config = self.controller.config_for(profile)
+        result = self.pipeline.process_batch(config, queries)
+        self._batches += 1
+        self._queries += len(queries)
+        return result
+
+    def process_frames(self, frames: list[Frame]) -> BatchResult:
+        """NIC entry point: deliver frames, drain the RX ring, process."""
+        self.nic.deliver(frames)
+        pending = self.nic.receive()
+        queries: list[Query] = []
+        for frame in pending:
+            queries.extend(decode_queries(frame.payload))
+        result = self.process(queries)
+        self.nic.send(result.frames)
+        return result
+
+    def submit(self, queries: list[Query]) -> BatchResult:
+        """Client-style entry: pack queries into frames and go through the NIC."""
+        return self.process_frames(frames_for_queries(queries))
+
+    def _harvest_frequencies(self, sample: int = 512) -> None:
+        """Feed recently touched objects' in-window counts to the profiler.
+
+        The real system reads counters as objects are accessed; sampling a
+        bounded number per window keeps the profiler lightweight.
+        """
+        epoch = self.profiler.epoch
+        harvested = 0
+        for obj in self.store.heap.objects():
+            if obj.sample_epoch == epoch - 1 and obj.access_count > 0:
+                self.profiler.observe_frequency(obj.access_count)
+                harvested += 1
+                if harvested >= sample:
+                    break
+
+    # ------------------------------------------------------------ analytical
+
+    def measure_steady_state(self, profile: WorkloadProfile) -> PipelineMeasurement:
+        """Measured performance of the plan DIDO would choose for ``profile``."""
+        config = self.controller.config_for(profile)
+        return self.executor.measure(config, profile, self.latency_budget_ns)
+
+    def plan_for(self, profile: WorkloadProfile) -> PipelineConfig:
+        """The configuration the controller selects for ``profile``."""
+        return self.controller.config_for(profile)
+
+    # -------------------------------------------------------------- reporting
+
+    def report(self) -> SystemReport:
+        config = self.controller.current_config
+        estimate = self.controller.current_estimate
+        return SystemReport(
+            batches=self._batches,
+            queries=self._queries,
+            replans=self.controller.replan_count,
+            current_pipeline=config.label if config else "<unplanned>",
+            estimated_mops=estimate.throughput_mops if estimate else 0.0,
+        )

@@ -1,0 +1,222 @@
+"""Lightweight workload profiler (paper Section III-A and IV-B).
+
+The profiler maintains "only a few counters" per batch — GET/SET counts and
+key/value byte totals — plus the sampling-based Zipf-skew estimator: each
+key-value object carries an access counter and a sampling-epoch timestamp
+(see :class:`repro.kv.objects.KVObject`), and at the end of a window the
+observed frequency distribution of the *sampled* keys yields a skew
+estimate.  Re-planning triggers when any profiled characteristic moves by
+more than 10 % relative to the profile the current pipeline was planned for
+(``ProfileDelta.substantial``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.kv.protocol import Query, QueryType
+
+#: The paper's re-plan threshold: "the upper limit for the alteration of
+#: workload counters is set to 10%".
+CHANGE_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A profiled workload: the inputs the cost model needs.
+
+    ``insert_buckets`` is the runtime-measured average buckets written per
+    index Insert (cuckoo amortised cost; paper Section IV-B), carried here
+    because the profiler is the component that observes the running system.
+    """
+
+    get_ratio: float
+    avg_key_size: float
+    avg_value_size: float
+    zipf_skew: float
+    batch_queries: int = 0
+    insert_buckets: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.get_ratio <= 1.0:
+            raise WorkloadError("get_ratio must be within [0, 1]")
+        if self.avg_key_size <= 0 or self.avg_value_size < 0:
+            raise WorkloadError("sizes must be positive")
+
+    @property
+    def set_ratio(self) -> float:
+        return 1.0 - self.get_ratio
+
+    @classmethod
+    def from_spec(cls, spec, insert_buckets: float = 2.0) -> "WorkloadProfile":
+        """Profile equivalent of a :class:`~repro.workloads.ycsb.WorkloadSpec`.
+
+        Used by benchmarks that evaluate the steady state of a known
+        workload without running the profiler first.
+        """
+        return cls(
+            get_ratio=spec.get_ratio,
+            avg_key_size=float(spec.dataset.key_size),
+            avg_value_size=float(spec.dataset.value_size),
+            zipf_skew=spec.zipf_skew,
+            insert_buckets=insert_buckets,
+        )
+
+
+@dataclass(frozen=True)
+class ProfileDelta:
+    """Relative change between two profiles, per profiled counter."""
+
+    get_ratio: float
+    key_size: float
+    value_size: float
+    skew: float
+
+    @property
+    def max_change(self) -> float:
+        return max(self.get_ratio, self.key_size, self.value_size, self.skew)
+
+    @property
+    def substantial(self) -> bool:
+        """True when any counter moved by more than the 10 % threshold."""
+        return self.max_change > CHANGE_THRESHOLD
+
+
+def _relative_change(new: float, old: float, floor: float = 1e-6) -> float:
+    return abs(new - old) / max(abs(old), floor)
+
+
+def profile_delta(new: WorkloadProfile, old: WorkloadProfile) -> ProfileDelta:
+    """Component-wise relative change (skew compared on a 0-1 scale)."""
+    return ProfileDelta(
+        get_ratio=_relative_change(new.get_ratio, old.get_ratio, floor=0.05),
+        key_size=_relative_change(new.avg_key_size, old.avg_key_size),
+        value_size=_relative_change(new.avg_value_size, old.avg_value_size, floor=1.0),
+        skew=abs(new.zipf_skew - old.zipf_skew) / 1.0,
+    )
+
+
+def sample_skewness(frequencies: np.ndarray) -> float:
+    """Joanes & Gill (1998) adjusted sample skewness ``G1`` of frequencies.
+
+    This is the statistic the paper's estimator computes over the sampled
+    key frequencies; :func:`estimate_zipf_skew` maps it (together with the
+    rank-frequency slope) to a Zipf exponent.
+    """
+    n = frequencies.size
+    if n < 3:
+        return 0.0
+    mean = float(frequencies.mean())
+    deviations = frequencies - mean
+    m2 = float(np.mean(deviations**2))
+    if m2 <= 0:
+        return 0.0
+    m3 = float(np.mean(deviations**3))
+    g1 = m3 / m2**1.5
+    return g1 * math.sqrt(n * (n - 1)) / (n - 2)
+
+
+def estimate_zipf_skew(frequencies: np.ndarray, min_samples: int = 32) -> float:
+    """Estimate the Zipf exponent from sampled access frequencies.
+
+    Sorts the sampled per-key frequencies in descending order and fits the
+    log-log rank-frequency slope by least squares; a uniform workload gives
+    frequencies that are flat in rank, hence a slope (and estimate) near 0.
+    Returns 0.0 when there are too few samples or no variation.
+    """
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    freqs = freqs[freqs > 0]
+    if freqs.size < min_samples:
+        return 0.0
+    ordered = np.sort(freqs)[::-1]
+    if ordered[0] == ordered[-1]:
+        return 0.0
+    ranks = np.arange(1, ordered.size + 1, dtype=np.float64)
+    log_rank = np.log(ranks)
+    log_freq = np.log(ordered)
+    slope, _ = np.polyfit(log_rank, log_freq, 1)
+    return float(max(0.0, -slope))
+
+
+class WorkloadProfiler:
+    """Accumulates per-batch counters and produces :class:`WorkloadProfile`.
+
+    Usage: call :meth:`observe_batch` with each batch of parsed queries and
+    per-object access frequencies sampled during the window (supplied by the
+    store via the objects' counters), then :meth:`snapshot` to close the
+    window.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self._reset_window()
+        self._last_insert_buckets = 2.0
+
+    def _reset_window(self) -> None:
+        self._gets = 0
+        self._sets = 0
+        self._key_bytes = 0
+        self._value_bytes = 0
+        self._value_events = 0
+        self._frequencies: list[int] = []
+
+    # ------------------------------------------------------------ observing
+
+    def observe_batch(self, queries: list[Query]) -> None:
+        """Fold one batch's queries into the current window."""
+        for query in queries:
+            self._key_bytes += len(query.key)
+            if query.qtype is QueryType.GET:
+                self._gets += 1
+            else:
+                self._sets += 1
+                self._value_bytes += len(query.value)
+                self._value_events += 1
+
+    def observe_value_size(self, size: int) -> None:
+        """Record the size of a value served by a GET (SET sizes come from
+        the queries themselves; GET sizes are only known after RD)."""
+        self._value_bytes += size
+        self._value_events += 1
+
+    def observe_frequency(self, in_window_count: int) -> None:
+        """Record one sampled object's in-window access count (the paper's
+        counter+timestamp mechanism reports these as objects are touched)."""
+        self._frequencies.append(in_window_count)
+
+    def observe_insert_buckets(self, average: float) -> None:
+        """Record the measured average buckets per Insert from the index."""
+        if average > 0:
+            self._last_insert_buckets = average
+
+    # ------------------------------------------------------------- snapshot
+
+    @property
+    def window_queries(self) -> int:
+        return self._gets + self._sets
+
+    def snapshot(self) -> WorkloadProfile:
+        """Close the window: return its profile and start a new epoch."""
+        total = self.window_queries
+        if total == 0:
+            raise WorkloadError("cannot profile an empty window")
+        get_ratio = self._gets / total
+        avg_key = self._key_bytes / total
+        # Value size: average over SET payloads and served GET values.
+        avg_value = self._value_bytes / max(1, self._value_events)
+        skew = estimate_zipf_skew(np.asarray(self._frequencies, dtype=np.float64))
+        profile = WorkloadProfile(
+            get_ratio=get_ratio,
+            avg_key_size=avg_key,
+            avg_value_size=max(1.0, avg_value),
+            zipf_skew=skew,
+            batch_queries=total,
+            insert_buckets=self._last_insert_buckets,
+        )
+        self.epoch += 1
+        self._reset_window()
+        return profile

@@ -1,0 +1,60 @@
+"""Hardware substrate: analytical models of coupled and discrete CPU-GPU platforms.
+
+The paper evaluates DIDO on an AMD A10-7850K Kaveri APU (four CPU cores and
+eight GPU compute units sharing DDR3 memory through hUMA) and compares
+against Mega-KV on a discrete dual-Xeon / dual-GTX780 testbed.  Neither
+platform is available here, so this package models them analytically:
+
+* :mod:`repro.hardware.specs` — frozen dataclasses describing each platform
+  (clock rates, core counts, latencies, bandwidth, price, TDP);
+* :mod:`repro.hardware.processor` — per-task execution-time models for CPU
+  cores and GPU compute units, including the GPU's small-batch inefficiency;
+* :mod:`repro.hardware.memory` — cache/memory access-cost model with
+  prefetch and hot-set (Zipf) caching effects;
+* :mod:`repro.hardware.interference` — the CPU/GPU shared-memory
+  interference factor ``mu`` and the microbenchmark that measures it;
+* :mod:`repro.hardware.pcie` — PCIe transfer model for the discrete
+  baseline.
+
+Every quantity DIDO's cost model consumes (paper Section IV) is produced by
+these modules, so the adaptation mechanics are exercised end to end.
+"""
+
+from repro.hardware.interference import InterferenceModel, measure_interference
+from repro.hardware.memory import MemorySystem, access_cost_ns, object_access_pattern
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.processor import (
+    ComputeThroughput,
+    cpu_task_time_ns,
+    gpu_batch_efficiency,
+    gpu_task_time_ns,
+)
+from repro.hardware.specs import (
+    APU_A10_7850K,
+    DISCRETE_MEGAKV,
+    GPU_GTX780_PAIR,
+    XEON_E5_2650V2_PAIR,
+    PlatformSpec,
+    ProcessorKind,
+    ProcessorSpec,
+)
+
+__all__ = [
+    "APU_A10_7850K",
+    "DISCRETE_MEGAKV",
+    "GPU_GTX780_PAIR",
+    "XEON_E5_2650V2_PAIR",
+    "ComputeThroughput",
+    "InterferenceModel",
+    "MemorySystem",
+    "PCIeLink",
+    "PlatformSpec",
+    "ProcessorKind",
+    "ProcessorSpec",
+    "access_cost_ns",
+    "cpu_task_time_ns",
+    "gpu_batch_efficiency",
+    "gpu_task_time_ns",
+    "measure_interference",
+    "object_access_pattern",
+]

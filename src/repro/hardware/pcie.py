@@ -1,0 +1,43 @@
+"""PCIe transfer model for the discrete Mega-KV baseline.
+
+On a discrete platform every GPU-side pipeline stage pays to ship its input
+batch to device memory and its results back over PCIe (the paper's central
+motivation for *static* pipelines on discrete hardware).  The coupled APU
+pays nothing — ``PCIeLink.transfer_ns`` on a coupled platform is zero by
+construction so the same executor code runs on both.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import PlatformSpec
+
+
+class PCIeLink:
+    """One direction of a PCIe transfer (latency + bandwidth model)."""
+
+    def __init__(self, platform: PlatformSpec):
+        self._coupled = platform.coupled
+        self._bandwidth_bytes_ns = platform.pcie_bandwidth_gbs  # GB/s == bytes/ns
+        self._latency_ns = platform.pcie_latency_us * 1000.0
+
+    @property
+    def coupled(self) -> bool:
+        """True when the platform shares memory and transfers are free."""
+        return self._coupled
+
+    def transfer_ns(self, payload_bytes: float) -> float:
+        """Time to move ``payload_bytes`` across the link (one direction).
+
+        Zero on a coupled platform.  On a discrete platform the DMA setup
+        latency is paid once per transfer regardless of size.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload size must be non-negative")
+        if self._coupled or payload_bytes == 0:
+            return 0.0
+        return self._latency_ns + payload_bytes / self._bandwidth_bytes_ns
+
+    def round_trip_ns(self, to_device_bytes: float, from_device_bytes: float) -> float:
+        """Input upload plus result download for one GPU kernel invocation."""
+        return self.transfer_ns(to_device_bytes) + self.transfer_ns(from_device_bytes)

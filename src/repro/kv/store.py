@@ -1,0 +1,209 @@
+"""The assembled key-value store: cuckoo index over a slab heap.
+
+:class:`KVStore` wires the cuckoo hash table and the slab allocator into the
+GET/SET/DELETE semantics of Section II-B, and reports the per-operation cost
+observations (buckets touched, evictions generated) that both the workload
+profiler and the cost model consume.
+
+The pipeline engine does not call ``get``/``set`` directly — it runs the
+fine-grained tasks (IN, KC, RD, ...) separately so they can live on
+different processors — but those task implementations delegate to the
+primitive operations exposed here, and the convenience methods compose the
+same primitives, so unit tests of the store exercise exactly the code the
+pipeline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.kv.hashtable import CuckooHashTable
+from repro.kv.objects import KVObject
+from repro.kv.slab import SlabAllocator
+
+
+@dataclass
+class StoreStats:
+    """Store-level operation counters."""
+
+    gets: int = 0
+    get_hits: int = 0
+    sets: int = 0
+    deletes: int = 0
+    delete_hits: int = 0
+    signature_false_positives: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.gets == 0:
+            return 0.0
+        return self.get_hits / self.gets
+
+
+@dataclass
+class SetOutcome:
+    """What one SET did: where the object went and what it displaced.
+
+    ``evicted`` is the LRU object pushed out by the slab allocator (paper:
+    "a SET query needs to evict an existing key-value object"), and
+    ``replaced`` is a previous version of the same key.  Either generates an
+    index Delete; the new object generates an index Insert — the Insert +
+    Delete pairing analysed in Figure 6.  The ``*_location`` fields identify
+    the displaced index entries so Deletes remove exactly the stale entry
+    even when a reassigned Insert has already added the new one.
+    """
+
+    location: int
+    evicted: KVObject | None
+    replaced: KVObject | None
+    evicted_location: int | None = None
+    replaced_location: int | None = None
+
+    @property
+    def index_deletes(self) -> int:
+        return int(self.evicted is not None) + int(self.replaced is not None)
+
+
+class KVStore:
+    """A functional IMKV node body (index + heap), no networking attached.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Slab budget for key-value objects.
+    expected_objects:
+        Sizing hint for the index (buckets ~ expected / slots, padded to
+        keep cuckoo load factors safe).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        expected_objects: int,
+        num_hashes: int = 2,
+        index=None,
+    ):
+        buckets = max(64, int(expected_objects / 2))
+        if index is None:
+            index = CuckooHashTable(num_buckets=buckets, num_hashes=num_hashes)
+        self.index = index
+        self.heap = SlabAllocator(memory_bytes)
+        self._key_location: dict[bytes, int] = {}
+        self.stats = StoreStats()
+
+    def __len__(self) -> int:
+        return len(self._key_location)
+
+    # ------------------------------------------------------------ primitives
+    # These are what the pipeline's fine-grained tasks call.
+
+    def index_search(self, key: bytes) -> list[int]:
+        """IN/Search: candidate locations by signature."""
+        candidates, _ = self.index.search(key)
+        return candidates
+
+    def key_compare(self, key: bytes, candidates: list[int]) -> int | None:
+        """KC: verify the full key against candidate objects.
+
+        Returns the matching location or None; counts signature false
+        positives (candidates rejected by the comparison).
+        """
+        match: int | None = None
+        for location in candidates:
+            obj = self.heap.get(location, touch=False)
+            if obj is not None and obj.key == key:
+                match = location
+            else:
+                self.stats.signature_false_positives += 1
+        return match
+
+    def read_value(self, location: int, *, epoch: int = 0) -> bytes | None:
+        """RD: fetch the value bytes, recording a profiler access."""
+        obj = self.heap.get(location)
+        if obj is None:
+            return None
+        obj.record_access(epoch)
+        return obj.value
+
+    def allocate(self, key: bytes, value: bytes) -> SetOutcome:
+        """MM: place a new object, evicting/replacing as needed."""
+        replaced: KVObject | None = None
+        replaced_location: int | None = None
+        old_location = self._key_location.get(key)
+        if old_location is not None and old_location in self.heap:
+            replaced = self.heap.free(old_location)
+            replaced_location = old_location
+        location, evicted = self.heap.allocate(KVObject(key, value))
+        evicted_location: int | None = None
+        if evicted is not None:
+            evicted_location = self._key_location.pop(evicted.key, None)
+        self._key_location[key] = location
+        return SetOutcome(
+            location=location,
+            evicted=evicted,
+            replaced=replaced,
+            evicted_location=evicted_location,
+            replaced_location=replaced_location,
+        )
+
+    def index_insert(self, key: bytes, location: int) -> int:
+        """IN/Insert: add the new entry; returns buckets written."""
+        return self.index.insert(key, location)
+
+    def index_delete(self, key: bytes, location: int | None = None) -> bool:
+        """IN/Delete: drop an index entry (for evicted/replaced/deleted keys)."""
+        return self.index.delete(key, location)
+
+    # ------------------------------------------------------- whole operations
+
+    def get(self, key: bytes, *, epoch: int = 0) -> bytes | None:
+        """Full GET: Search -> KC -> RD."""
+        self.stats.gets += 1
+        candidates = self.index_search(key)
+        location = self.key_compare(key, candidates)
+        if location is None:
+            return None
+        value = self.read_value(location, epoch=epoch)
+        if value is not None:
+            self.stats.get_hits += 1
+        return value
+
+    def set(self, key: bytes, value: bytes) -> SetOutcome:
+        """Full SET: MM -> Insert (+ Delete for displaced entries)."""
+        self.stats.sets += 1
+        outcome = self.allocate(key, value)
+        if outcome.replaced is not None:
+            self.index_delete(key, outcome.replaced_location)
+        if outcome.evicted is not None:
+            self.index_delete(outcome.evicted.key, outcome.evicted_location)
+        self.index_insert(key, outcome.location)
+        return outcome
+
+    def delete(self, key: bytes) -> bool:
+        """Full DELETE: remove from heap and index."""
+        self.stats.deletes += 1
+        location = self._key_location.pop(key, None)
+        if location is None or location not in self.heap:
+            return False
+        self.heap.free(location)
+        self.index_delete(key, location)
+        self.stats.delete_hits += 1
+        return True
+
+    # -------------------------------------------------------------- warm-up
+
+    def populate(self, items: list[tuple[bytes, bytes]]) -> int:
+        """Bulk-load items (benchmark warm-up); returns count stored.
+
+        Stops early if the index cannot absorb more (cuckoo capacity), which
+        callers treat as "store is full" rather than an error.
+        """
+        stored = 0
+        for key, value in items:
+            try:
+                self.set(key, value)
+            except CapacityError:
+                break
+            stored += 1
+        return stored

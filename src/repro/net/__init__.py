@@ -1,0 +1,26 @@
+"""Simulated network substrate: Ethernet/UDP frames and a batching NIC.
+
+Stands in for the Intel 82599 10 GbE NIC of the paper's testbed.  Queries
+and responses are batched into Ethernet frames "as many as possible"
+(Section V-A) so that per-packet costs amortise; the RV and SD tasks consume
+and produce :class:`Frame` objects through :class:`SimulatedNIC` rings.
+"""
+
+from repro.net.nic import NICStats, SimulatedNIC
+from repro.net.packets import (
+    ETHERNET_MTU,
+    FRAME_HEADER_BYTES,
+    Frame,
+    frames_for_queries,
+    frames_for_responses,
+)
+
+__all__ = [
+    "ETHERNET_MTU",
+    "FRAME_HEADER_BYTES",
+    "Frame",
+    "NICStats",
+    "SimulatedNIC",
+    "frames_for_queries",
+    "frames_for_responses",
+]

@@ -1,0 +1,83 @@
+"""Ethernet/UDP frame model and query/response frame packing.
+
+Frames carry an opaque payload produced by :mod:`repro.kv.protocol`; the
+packing helpers fill each frame up to the MTU, matching the paper's setup
+where "queries and their responses are batched in an Ethernet frame as many
+as possible" (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.kv.protocol import Query, Response, encode_queries, encode_responses
+
+#: Standard Ethernet payload limit.
+ETHERNET_MTU = 1500
+#: Ethernet + IP + UDP header bytes accounted per frame.
+FRAME_HEADER_BYTES = 14 + 20 + 8
+
+
+@dataclass
+class Frame:
+    """One UDP-in-Ethernet frame with its payload bytes.
+
+    ``query_count`` is bookkeeping for the RV cost model (per-frame costs
+    are amortised over the queries inside).
+    """
+
+    payload: bytes
+    query_count: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """On-the-wire size including headers."""
+        return FRAME_HEADER_BYTES + len(self.payload)
+
+
+def frames_for_queries(queries: list[Query], mtu: int = ETHERNET_MTU) -> list[Frame]:
+    """Pack queries into the minimum number of MTU-bounded frames.
+
+    Greedy first-fit in arrival order (clients stream queries, they do not
+    bin-pack).  A query whose wire size alone exceeds the MTU travels in a
+    dedicated frame: one UDP datagram that the IP layer fragments
+    transparently (production workloads carry values up to tens of
+    kilobytes, e.g. Facebook's ETC).
+    """
+    return _pack(queries, encode_queries, mtu)
+
+
+def frames_for_responses(responses: list[Response], mtu: int = ETHERNET_MTU) -> list[Frame]:
+    """Pack responses into MTU-bounded frames (the SD task's output unit).
+
+    Oversized responses get dedicated IP-fragmented frames, mirroring
+    :func:`frames_for_queries`.
+    """
+    return _pack(responses, encode_responses, mtu)
+
+
+def _pack(messages, encode, mtu: int) -> list[Frame]:
+    frames: list[Frame] = []
+    current: list = []
+    current_bytes = 0
+
+    def flush() -> None:
+        nonlocal current, current_bytes
+        if current:
+            frames.append(Frame(encode(current), query_count=len(current)))
+            current = []
+            current_bytes = 0
+
+    for message in messages:
+        size = message.wire_size
+        if size > mtu:
+            flush()
+            frames.append(Frame(encode([message]), query_count=1))
+            continue
+        if current_bytes + size > mtu:
+            flush()
+        current.append(message)
+        current_bytes += size
+    flush()
+    return frames

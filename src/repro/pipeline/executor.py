@@ -1,0 +1,176 @@
+"""The detailed pipeline simulator — this reproduction's "measured system".
+
+Runs the shared :class:`~repro.core.cost_model.PipelineAnalyzer` at
+``DETAILED_FIDELITY``: per-kernel launch overheads, inflated cuckoo probe
+counts, an interference fixed point, wavefront-quantized batches, and
+chunk-quantized work stealing with synchronisation costs.  Everything the
+planner's :class:`~repro.core.cost_model.CostModel` idealises away is
+present here, so comparing the two reproduces the paper's Figure 9 error
+analysis, and DIDO's adaptation loop is validated against a target it does
+not perfectly know — as on real hardware.
+
+:class:`PipelineExecutor` also provides the time-stepped simulation used by
+the dynamic-workload experiments (Figures 20-21): batches flow through the
+pipeline with real queueing delay, so a configuration switch takes effect
+only after in-flight batches drain, reproducing the ~1 ms adaptation lag
+the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import (
+    DETAILED_FIDELITY,
+    FidelityOptions,
+    PipelineAnalyzer,
+    PipelineEstimate,
+)
+from repro.core.profiler import WorkloadProfile
+from repro.core.tasks import CalibrationConstants, DEFAULT_CALIBRATION, IndexOp
+from repro.errors import SimulationError
+from repro.hardware.specs import PlatformSpec
+from repro.core.pipeline_config import PipelineConfig
+
+
+@dataclass(frozen=True)
+class StageMeasurement:
+    """Measured execution profile of one stage (reporting convenience)."""
+
+    label: str
+    time_us: float
+
+
+@dataclass(frozen=True)
+class PipelineMeasurement:
+    """A measured steady-state evaluation (same content as an estimate, but
+    produced at detailed fidelity; kept as a distinct type so call sites
+    document which side of the model/measurement divide they are on)."""
+
+    estimate: PipelineEstimate
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.estimate.throughput_mops
+
+    @property
+    def batch_size(self) -> int:
+        return self.estimate.batch_size
+
+    @property
+    def tmax_us(self) -> float:
+        return self.estimate.tmax_ns / 1000.0
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.estimate.cpu_utilization
+
+    @property
+    def gpu_utilization(self) -> float:
+        return self.estimate.gpu_utilization
+
+    @property
+    def index_op_times_us(self) -> dict[IndexOp, float]:
+        return {op: t / 1000.0 for op, t in self.estimate.index_op_times_ns.items()}
+
+    def stages(self) -> list[StageMeasurement]:
+        return [
+            StageMeasurement(stage.label, t / 1000.0)
+            for stage, t in zip(self.estimate.config.stages, self.estimate.stage_times_ns)
+        ]
+
+
+@dataclass
+class TimelinePoint:
+    """One sample of the time-stepped simulation (Figure 20's plot points)."""
+
+    time_ns: float
+    throughput_mops: float
+    config_label: str
+
+
+class PipelineExecutor(PipelineAnalyzer):
+    """Detailed-fidelity analyzer plus time-stepped simulation helpers."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        constants: CalibrationConstants = DEFAULT_CALIBRATION,
+        fidelity: FidelityOptions = DETAILED_FIDELITY,
+    ):
+        super().__init__(platform, fidelity, constants)
+
+    def measure(
+        self,
+        config: PipelineConfig,
+        profile: WorkloadProfile,
+        latency_budget_ns: float = 1_000_000.0,
+    ) -> PipelineMeasurement:
+        """Steady-state measurement of one configuration on one workload."""
+        return PipelineMeasurement(self.estimate(config, profile, latency_budget_ns))
+
+    # -------------------------------------------------------- time stepping
+
+    def run_timeline(
+        self,
+        schedule,
+        duration_ns: float,
+        latency_budget_ns: float = 1_000_000.0,
+        sample_every_ns: float = 300_000.0,
+    ) -> list[TimelinePoint]:
+        """Simulate batch-by-batch execution under a dynamic schedule.
+
+        ``schedule`` is a callable ``(time_ns) -> (config, profile)``
+        returning the pipeline configuration *in effect* and the workload
+        profile of the traffic arriving at that instant.  Because the
+        configuration is applied per batch (the paper embeds pipeline info
+        in each batch), a schedule that changes its answer mid-run models
+        the adaptation lag: the batch assembled at time ``t`` runs under the
+        configuration chosen at time ``t`` even if a better one is selected
+        while it is in flight.
+
+        Returns throughput samples averaged over ``sample_every_ns`` bins.
+        """
+        if duration_ns <= 0:
+            raise SimulationError("duration must be positive")
+        samples: list[TimelinePoint] = []
+        now = 0.0
+        bin_start = 0.0
+        bin_queries = 0.0
+        bin_config_label = ""
+        while now < duration_ns:
+            config, profile = schedule(now)
+            estimate = self.estimate(config, profile, latency_budget_ns)
+            period = max(estimate.tmax_ns, 1.0)
+            bin_config_label = config.label
+            end = now + period
+            # Spread this batch's queries across sample bins it overlaps.
+            remaining = estimate.batch_size
+            cursor = now
+            while cursor < end:
+                bin_end = bin_start + sample_every_ns
+                take_until = min(end, bin_end)
+                share = (take_until - cursor) / period * estimate.batch_size
+                bin_queries += share
+                remaining -= share
+                cursor = take_until
+                if cursor >= bin_end:
+                    samples.append(
+                        TimelinePoint(
+                            time_ns=bin_start,
+                            throughput_mops=bin_queries / sample_every_ns * 1000.0,
+                            config_label=bin_config_label,
+                        )
+                    )
+                    bin_start = bin_end
+                    bin_queries = 0.0
+            now = end
+        if bin_queries > 0:
+            samples.append(
+                TimelinePoint(
+                    time_ns=bin_start,
+                    throughput_mops=bin_queries / sample_every_ns * 1000.0,
+                    config_label=bin_config_label,
+                )
+            )
+        return samples

@@ -1,0 +1,291 @@
+"""Functional batch execution: every pipeline config computes real results.
+
+The timing simulator answers "how fast"; this module answers "is it still
+correct".  A :class:`FunctionalPipeline` takes a
+:class:`~repro.pipeline.partition.PipelineConfig` and pushes a batch of
+queries through the *actual* store — RV/PP parse real frames, MM really
+allocates and evicts, IN really mutates the cuckoo table, KC really compares
+keys, RD/WR really produce response bytes — stage by stage in the configured
+order.  Because the pipeline information is carried with the batch (the
+paper embeds it per batch), two consecutive batches may run under different
+configurations and still produce correct results; the test suite asserts
+that every legal configuration produces byte-identical responses.
+
+Batch semantics match GPU batch processing: within one batch, each task is
+applied to every query before the next task runs (so all MM allocations
+happen before all index Searches, etc.), exactly as in Mega-KV's staged
+kernels.
+
+When work stealing is enabled, the GPU-eligible span of the bottleneck-ish
+stage is executed by two logical executors ("gpu" owner claiming sets from
+the head, "cpu" helper from the tail) through the
+:class:`~repro.core.work_stealing.TagArray`, demonstrating the exactly-once
+claim discipline functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tasks import GPU_ELIGIBLE_TASKS, IndexOp, Task
+from repro.core.work_stealing import TagArray
+from repro.errors import SimulationError
+from repro.kv.protocol import (
+    Query,
+    QueryType,
+    Response,
+    ResponseStatus,
+    decode_queries,
+)
+from repro.kv.store import KVStore
+from repro.net.packets import Frame, frames_for_responses
+from repro.core.pipeline_config import PipelineConfig
+from repro.hardware.specs import ProcessorKind
+
+
+@dataclass
+class _QueryContext:
+    """Per-query scratch state threaded through the tasks."""
+
+    query: Query
+    candidates: list[int] = field(default_factory=list)
+    location: int | None = None
+    value: bytes | None = None
+    response: Response | None = None
+    # SET bookkeeping produced by MM, consumed by the Insert/Delete ops.
+    # Pending deletes carry the stale entry's location so a Delete cannot
+    # remove a freshly inserted entry for the same key.
+    pending_insert: tuple[bytes, int] | None = None
+    pending_deletes: list[tuple[bytes, int | None]] = field(default_factory=list)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one functional batch."""
+
+    responses: list[Response]
+    frames: list[Frame]
+    config_label: str
+    steal_claims: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.responses if r.status is not ResponseStatus.ERROR)
+
+
+class FunctionalPipeline:
+    """Executes batches against a :class:`~repro.kv.store.KVStore`.
+
+    Parameters
+    ----------
+    store:
+        The store to operate on (shared across batches and reconfigurations,
+        as on the real shared-memory APU).
+    epoch_source:
+        Callable returning the profiler's current sampling epoch, used to
+        stamp object access counters; defaults to a constant 0.
+    """
+
+    def __init__(self, store: KVStore, epoch_source=None):
+        self.store = store
+        self._epoch_source = epoch_source or (lambda: 0)
+        self._batch_inserts: dict[bytes, _QueryContext] = {}
+
+    # ------------------------------------------------------------ execution
+
+    def process_frames(self, config: PipelineConfig, frames: list[Frame]) -> BatchResult:
+        """RV entry point: parse queries out of frames, then process."""
+        queries: list[Query] = []
+        for frame in frames:
+            queries.extend(decode_queries(frame.payload))
+        return self.process_batch(config, queries)
+
+    def process_batch(self, config: PipelineConfig, queries: list[Query]) -> BatchResult:
+        """Run one batch through every stage of ``config`` in order."""
+        contexts = [_QueryContext(q) for q in queries]
+        steal_claims: dict[str, int] = {}
+        # Batch-local dedup of pending index Inserts: when one key is SET
+        # several times in a batch, only the last version's Insert reaches
+        # the index (earlier versions were never inserted, so they need no
+        # Delete either).  Without this, a hot Zipf key could stack enough
+        # identical signatures in one batch to overflow its cuckoo buckets.
+        self._batch_inserts: dict[bytes, _QueryContext] = {}
+        for stage in config.stages:
+            use_stealing = (
+                config.work_stealing
+                and stage.processor is ProcessorKind.GPU
+                and len(contexts) > 0
+            )
+            if use_stealing:
+                claims = self._run_stage_with_stealing(stage, contexts)
+                for owner, count in claims.items():
+                    steal_claims[owner] = steal_claims.get(owner, 0) + count
+            else:
+                self._run_stage(stage, contexts, range(len(contexts)))
+        responses = [ctx.response for ctx in contexts]
+        if any(r is None for r in responses):
+            raise SimulationError("a query completed the pipeline without a response")
+        frames = frames_for_responses(responses)
+        return BatchResult(
+            responses=responses,
+            frames=frames,
+            config_label=config.label,
+            steal_claims=steal_claims,
+        )
+
+    # --------------------------------------------------------------- stages
+
+    #: Execution order of index operations within a stage: stale-entry
+    #: Deletes first, then Inserts, then Searches — so a GET in the same
+    #: batch as its SET observes the new entry (batch read-your-write).
+    _OP_PRIORITY = {IndexOp.DELETE: 0, IndexOp.INSERT: 1, IndexOp.SEARCH: 2}
+
+    def _stage_phases(self, stage) -> list:
+        """The stage's work as an ordered list of whole-batch passes.
+
+        Each phase is a callable over query indices.  Batch semantics: a
+        phase is applied to every query (across all steal chunks) before the
+        next phase starts, exactly like Mega-KV's staged kernels.
+        """
+        op_passes = {
+            IndexOp.SEARCH: self._op_search,
+            IndexOp.INSERT: self._op_insert,
+            IndexOp.DELETE: self._op_delete,
+        }
+        phases: list = []
+        for task in stage.tasks:
+            if task in (Task.RV, Task.PP, Task.SD):
+                continue  # handled at batch entry/exit; timing-only here
+            if task is Task.MM:
+                phases.append(self._task_mm)
+                # Insert/Delete reassigned to this CPU stage run right
+                # after their producer (MM); Search never lives here
+                # without the IN task.
+                if Task.IN not in stage.tasks:
+                    for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
+                        if op is not IndexOp.SEARCH:
+                            phases.append(op_passes[op])
+            elif task is Task.IN:
+                for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
+                    phases.append(op_passes[op])
+            elif task is Task.KC:
+                phases.append(self._task_kc)
+            elif task is Task.RD:
+                phases.append(self._task_rd)
+            elif task is Task.WR:
+                phases.append(self._task_wr)
+        return phases
+
+    def _run_stage(self, stage, contexts: list[_QueryContext], indices) -> None:
+        """Execute a stage's phases over the selected query indices."""
+        for phase in self._stage_phases(stage):
+            for i in indices:
+                phase(contexts[i])
+
+    def _run_stage_with_stealing(self, stage, contexts) -> dict[str, int]:
+        """Split each phase's queries between owner and helper via tags.
+
+        Chunking happens *within* a phase: every claim set of one phase is
+        processed before the next phase starts, so stealing cannot reorder
+        passes and results are identical to the unstolen execution.
+        """
+        claims = {"gpu": 0, "cpu": 0}
+        for phase in self._stage_phases(stage):
+            tags = TagArray(len(contexts))
+            # Deterministic interleave: the owner takes two sets for each
+            # one the helper steals (a stand-in for the runtime race;
+            # correctness does not depend on the split).
+            turn = 0
+            while True:
+                if turn % 3 == 2:
+                    claimed = tags.claim_next("cpu", reverse=True)
+                    owner = "cpu"
+                else:
+                    claimed = tags.claim_next("gpu")
+                    owner = "gpu"
+                if claimed is None:
+                    break
+                claims[owner] += 1
+                for i in claimed:
+                    phase(contexts[i])
+                turn += 1
+        return claims
+
+    # ---------------------------------------------------------------- tasks
+
+    def _task_mm(self, ctx: _QueryContext) -> None:
+        if ctx.query.qtype is not QueryType.SET:
+            return
+        outcome = self.store.allocate(ctx.query.key, ctx.query.value)
+        ctx.location = outcome.location
+        ctx.pending_insert = (ctx.query.key, outcome.location)
+        if outcome.replaced is not None:
+            self._displaced(ctx, ctx.query.key, outcome.replaced_location)
+        if outcome.evicted is not None:
+            self._displaced(ctx, outcome.evicted.key, outcome.evicted_location)
+        self._batch_inserts[ctx.query.key] = ctx
+
+    def _displaced(self, ctx: _QueryContext, key: bytes, location: int | None) -> None:
+        """Record index cleanup for a displaced object.
+
+        If the displaced version was itself SET earlier in this batch, its
+        Insert has not executed yet — cancel it instead of queueing a
+        Delete for an entry that will never exist.
+        """
+        earlier = self._batch_inserts.pop(key, None)
+        if earlier is not None and earlier.pending_insert is not None:
+            earlier.pending_insert = None
+        else:
+            ctx.pending_deletes.append((key, location))
+
+    def _op_search(self, ctx: _QueryContext) -> None:
+        if ctx.query.qtype is QueryType.GET:
+            ctx.candidates = self.store.index_search(ctx.query.key)
+        elif ctx.query.qtype is QueryType.DELETE:
+            ctx.candidates = self.store.index_search(ctx.query.key)
+
+    def _op_insert(self, ctx: _QueryContext) -> None:
+        if ctx.pending_insert is None:
+            return
+        key, location = ctx.pending_insert
+        self.store.index_insert(key, location)
+        ctx.pending_insert = None
+
+    def _op_delete(self, ctx: _QueryContext) -> None:
+        if ctx.query.qtype is QueryType.DELETE:
+            # Cancel any not-yet-executed Insert for this key from earlier
+            # in the batch (its entry must never appear).
+            earlier = self._batch_inserts.pop(ctx.query.key, None)
+            if earlier is not None:
+                earlier.pending_insert = None
+            removed = self.store.delete(ctx.query.key)
+            ctx.response = Response(
+                ResponseStatus.DELETED if removed else ResponseStatus.NOT_FOUND
+            )
+            return
+        for key, location in ctx.pending_deletes:
+            self.store.index_delete(key, location)
+        ctx.pending_deletes.clear()
+
+    def _task_kc(self, ctx: _QueryContext) -> None:
+        if ctx.query.qtype is not QueryType.GET:
+            return
+        ctx.location = self.store.key_compare(ctx.query.key, ctx.candidates)
+
+    def _task_rd(self, ctx: _QueryContext) -> None:
+        if ctx.query.qtype is not QueryType.GET or ctx.location is None:
+            return
+        ctx.value = self.store.read_value(ctx.location, epoch=self._epoch_source())
+
+    def _task_wr(self, ctx: _QueryContext) -> None:
+        if ctx.response is not None:
+            return  # DELETE already answered
+        if ctx.query.qtype is QueryType.GET:
+            if ctx.value is None:
+                ctx.response = Response(ResponseStatus.NOT_FOUND)
+            else:
+                ctx.response = Response(ResponseStatus.OK, ctx.value)
+        elif ctx.query.qtype is QueryType.SET:
+            ctx.response = Response(ResponseStatus.STORED)
+        else:
+            ctx.response = Response(ResponseStatus.NOT_FOUND)

@@ -1,0 +1,203 @@
+"""MemcachedGPU-style baseline: the paper's other static design (Figure 2).
+
+MemcachedGPU (Hetherington et al., SoCC 2015) differs from Mega-KV in two
+ways the paper highlights:
+
+* it uses **GPUDirect** to DMA packets straight into GPU memory, so network
+  processing (packet parsing) happens *on the GPU* together with the index
+  lookups — a two-stage pipeline
+  ``[Network Processing + Index Operation]GPU -> [Read & Send Value]CPU``;
+* like Mega-KV it is static: the split never changes with the workload.
+
+Our :class:`~repro.core.pipeline_config.PipelineConfig` deliberately pins
+PP to the CPU (DIDO never offloads it), so this baseline is modelled
+directly from the task primitives instead of a ``PipelineConfig``.  Packet
+reception is DMA (free for the processors); the GPU runs PP plus all three
+index operations; the CPU keeps MM (allocator state stays host-side, as in
+the real system where SETs take a CPU path) and the whole read/send stage.
+
+Used by the design-space benchmark to reproduce the paper's Figure 2
+framing: on a *coupled* device, neither static split is right for all
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import MIN_BATCH, _ASSEMBLY_FRACTION
+from repro.core.profiler import WorkloadProfile
+from repro.core.tasks import (
+    DEFAULT_CALIBRATION,
+    CalibrationConstants,
+    IndexOp,
+    StageContext,
+    Task,
+    TaskModel,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.memory import MemorySystem
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.processor import cpu_task_time_ns, gpu_task_time_ns
+from repro.hardware.specs import PlatformSpec, ProcessorKind
+
+#: Bytes of packet payload DMAed to the GPU per query (GPUDirect).
+_PCIE_PACKET_OVERHEAD = 1.1  # descriptor/doorbell amplification
+
+#: MemcachedGPU keeps stock memcached's CPU-side code (item/LRU/slab
+#: maintenance, libevent plumbing) rather than Mega-KV's lean pipeline;
+#: its host stage carries that implementation weight.
+_MEMCACHED_CPU_OVERHEAD = 1.5
+
+#: Parsing a text-ish protocol on SIMT hardware is branch-divergent; the
+#: per-query instruction cost lands well above the CPU figure.
+_GPU_PARSE_DIVERGENCE = 6.0
+
+
+@dataclass(frozen=True)
+class MemcachedGPUMeasurement:
+    """Two-stage measurement mirroring :class:`PipelineMeasurement` fields."""
+
+    batch_size: int
+    gpu_stage_us: float
+    cpu_stage_us: float
+    throughput_mops: float
+    gpu_utilization: float
+    cpu_utilization: float
+
+    @property
+    def tmax_us(self) -> float:
+        return max(self.gpu_stage_us, self.cpu_stage_us)
+
+
+class MemcachedGPUModel:
+    """Analytic model of the two-stage MemcachedGPU design on a platform."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        constants: CalibrationConstants = DEFAULT_CALIBRATION,
+    ):
+        self.platform = platform
+        self.task_model = TaskModel(constants)
+        self.memory = MemorySystem(platform)
+        self.pcie = PCIeLink(platform)
+
+    # ---------------------------------------------------------- stage times
+
+    def _gpu_stage_ns(self, profile: WorkloadProfile, batch: int) -> float:
+        """GPU: packet processing + Search/Insert/Delete kernels."""
+        gpu = self.platform.gpu
+        context = StageContext(cache_line_bytes=gpu.cache_line_bytes)
+        pp = self.task_model.demand(
+            Task.PP,
+            batch,
+            key_size=profile.avg_key_size,
+            value_size=profile.avg_value_size,
+            get_ratio=profile.get_ratio,
+            context=context,
+        )
+        total = gpu_task_time_ns(
+            gpu, batch, pp.instructions * _GPU_PARSE_DIVERGENCE, pp.pattern
+        )
+        gets = int(batch * profile.get_ratio)
+        sets = int(batch * profile.set_ratio)
+        counts = {IndexOp.SEARCH: gets, IndexOp.INSERT: sets, IndexOp.DELETE: sets}
+        for op, count in counts.items():
+            if count <= 0:
+                continue
+            demand = self.task_model.index_demand(
+                op, count, search_buckets=1.77, insert_buckets=profile.insert_buckets
+            )
+            total += gpu_task_time_ns(
+                gpu, count, demand.instructions, demand.pattern, atomic=demand.atomic
+            )
+        # GPUDirect DMA of the raw packets (discrete platforms only).
+        payload = batch * (
+            profile.avg_key_size + profile.set_ratio * profile.avg_value_size + 7
+        ) * _PCIE_PACKET_OVERHEAD
+        total += self.pcie.round_trip_ns(payload, batch * 8.0)
+        return total
+
+    def _cpu_stage_ns(self, profile: WorkloadProfile, batch: int) -> float:
+        """CPU: MM plus the whole read/send stage, on all cores."""
+        cpu = self.platform.cpu
+        hot = self.memory.hot_fraction(
+            ProcessorKind.CPU,
+            int(profile.avg_key_size),
+            int(profile.avg_value_size),
+            profile.zipf_skew,
+        )
+        context = StageContext(
+            cache_line_bytes=cpu.cache_line_bytes,
+            with_kc=True,
+            with_rd=True,
+            hot_fraction=hot,
+        )
+        total = 0.0
+        for task in (Task.MM, Task.KC, Task.RD, Task.WR, Task.SD):
+            demand = self.task_model.demand(
+                task,
+                batch,
+                key_size=profile.avg_key_size,
+                value_size=profile.avg_value_size,
+                get_ratio=profile.get_ratio,
+                context=context,
+            )
+            count = int(round(demand.count))
+            if count <= 0:
+                continue
+            total += cpu_task_time_ns(
+                cpu, count, demand.instructions, demand.pattern, cores=cpu.cores
+            )
+        return total * _MEMCACHED_CPU_OVERHEAD
+
+    # -------------------------------------------------------------- measure
+
+    def measure(
+        self, profile: WorkloadProfile, latency_budget_ns: float = 1_000_000.0
+    ) -> MemcachedGPUMeasurement:
+        """Steady-state measurement under the same periodic scheduling rule
+        the other systems use (two stages share the latency budget)."""
+        if latency_budget_ns <= 0:
+            raise ConfigurationError("latency budget must be positive")
+        interval = latency_budget_ns / (2 + _ASSEMBLY_FRACTION)
+
+        def tmax(batch: int) -> float:
+            return max(self._gpu_stage_ns(profile, batch), self._cpu_stage_ns(profile, batch))
+
+        lo = MIN_BATCH
+        if tmax(lo) > interval:
+            batch = lo
+        else:
+            hi = lo
+            while tmax(hi * 2) <= interval and hi < 4_000_000:
+                hi *= 2
+            hi *= 2
+            while hi - lo > MIN_BATCH:
+                mid = (lo + hi) // 2
+                if tmax(mid) <= interval:
+                    lo = mid
+                else:
+                    hi = mid
+            batch = (lo // MIN_BATCH) * MIN_BATCH
+        gpu_ns = self._gpu_stage_ns(profile, batch)
+        cpu_ns = self._cpu_stage_ns(profile, batch)
+        period = max(gpu_ns, cpu_ns)
+        return MemcachedGPUMeasurement(
+            batch_size=batch,
+            gpu_stage_us=gpu_ns / 1000.0,
+            cpu_stage_us=cpu_ns / 1000.0,
+            throughput_mops=batch / period * 1000.0,
+            gpu_utilization=min(1.0, gpu_ns / period),
+            cpu_utilization=min(1.0, cpu_ns / period),
+        )
+
+
+def measure_memcachedgpu(
+    platform: PlatformSpec,
+    profile: WorkloadProfile,
+    latency_budget_ns: float = 1_000_000.0,
+) -> MemcachedGPUMeasurement:
+    """Convenience wrapper."""
+    return MemcachedGPUModel(platform).measure(profile, latency_budget_ns)

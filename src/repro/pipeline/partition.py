@@ -1,0 +1,16 @@
+"""Pipeline partitioning schemes — public re-export.
+
+The implementation lives in :mod:`repro.core.pipeline_config` (the cost
+model depends on these types, and keeping them inside ``repro.core`` avoids
+a package-level import cycle between ``repro.core`` and ``repro.pipeline``).
+This module preserves the natural import path for pipeline users.
+"""
+
+from repro.core.pipeline_config import (
+    PipelineConfig,
+    StageSpec,
+    format_pipeline,
+    gpu_segments,
+)
+
+__all__ = ["PipelineConfig", "StageSpec", "format_pipeline", "gpu_segments"]

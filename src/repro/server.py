@@ -1,0 +1,201 @@
+"""A real UDP server front-end for the DIDO store.
+
+Everything else in this package simulates the NIC; this module binds an
+actual UDP socket and speaks the package's binary protocol
+(:mod:`repro.kv.protocol`), so the library runs as a usable key-value
+service: one datagram in (a batch of queries), one or more datagrams out
+(the responses), processed through the full adaptive pipeline.
+
+The paper's system batches queries for the GPU; a network server front-end
+does the same here: datagrams arriving within a small window are coalesced
+into one pipeline batch so the profiler and cost model see realistic batch
+sizes rather than single queries.
+
+Usage::
+
+    server = DidoUDPServer(("127.0.0.1", 0), system=DidoSystem(...))
+    with server:
+        server.start()          # background thread
+        ...                     # clients talk to server.address
+    # or blocking: server.serve_forever()
+
+See :mod:`repro.client` for the matching client.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.dido import DidoSystem
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kv.protocol import (
+    Query,
+    Response,
+    ResponseStatus,
+    decode_queries,
+    encode_responses,
+)
+
+#: Largest datagram we attempt to receive (jumbo values are IP-fragmented).
+MAX_DATAGRAM = 64 * 1024
+
+#: How long the server waits to coalesce datagrams into one pipeline batch.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Responses per outgoing datagram are bounded by this payload size.
+MAX_RESPONSE_PAYLOAD = 32 * 1024
+
+
+@dataclass
+class ServerStats:
+    """Operational counters for one server."""
+
+    datagrams_in: int = 0
+    datagrams_out: int = 0
+    queries: int = 0
+    batches: int = 0
+    protocol_errors: int = 0
+
+
+class DidoUDPServer:
+    """UDP front-end: datagrams of encoded queries in, responses out.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` to bind; port 0 picks a free port.
+    system:
+        The :class:`~repro.core.dido.DidoSystem` that processes batches; a
+        default-sized one is created if omitted.
+    batch_window_s:
+        Coalescing window: datagrams arriving within it form one batch.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        system: DidoSystem | None = None,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+    ):
+        if batch_window_s < 0:
+            raise ConfigurationError("batch window must be non-negative")
+        self.system = system or DidoSystem(
+            memory_bytes=64 << 20, expected_objects=65536
+        )
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.bind(address)
+        self._socket.settimeout(0.1)
+        self._batch_window_s = batch_window_s
+        self._running = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._socket.getsockname()
+
+    def __enter__(self) -> "DidoUDPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Serve on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise ConfigurationError("server already started")
+        self._running.set()
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and close the socket."""
+        self._running.clear()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (also the body of the background thread)."""
+        self._running.set()
+        while self._running.is_set():
+            self._serve_one_window()
+
+    # ------------------------------------------------------------- serving
+
+    def _serve_one_window(self) -> None:
+        """Collect datagrams for one batch window and process them."""
+        pending: list[tuple[list[Query], tuple[str, int]]] = []
+        deadline = None
+        while True:
+            try:
+                payload, peer = self._socket.recvfrom(MAX_DATAGRAM)
+            except socket.timeout:
+                break
+            except OSError:
+                return  # socket closed under us during stop()
+            self.stats.datagrams_in += 1
+            try:
+                queries = decode_queries(payload)
+            except ProtocolError:
+                self.stats.protocol_errors += 1
+                continue
+            if queries:
+                pending.append((queries, peer))
+            if deadline is None:
+                deadline = time.monotonic() + self._batch_window_s
+                self._socket.settimeout(max(self._batch_window_s, 1e-4))
+            if time.monotonic() >= deadline:
+                break
+        self._socket.settimeout(0.1)
+        if not pending:
+            return
+        self._process_window(pending)
+
+    def _process_window(self, pending) -> None:
+        batch: list[Query] = []
+        owners: list[tuple[str, int]] = []
+        for queries, peer in pending:
+            batch.extend(queries)
+            owners.extend([peer] * len(queries))
+        result = self.system.process(batch)
+        self.stats.queries += len(batch)
+        self.stats.batches += 1
+        # Regroup responses per peer, preserving per-peer order.
+        by_peer: dict[tuple[str, int], list[Response]] = {}
+        for peer, response in zip(owners, result.responses):
+            by_peer.setdefault(peer, []).append(response)
+        for peer, responses in by_peer.items():
+            for chunk in _chunk_responses(responses):
+                try:
+                    self._socket.sendto(encode_responses(chunk), peer)
+                    self.stats.datagrams_out += 1
+                except OSError:  # pragma: no cover - peer vanished
+                    break
+
+
+def _chunk_responses(responses: list[Response]) -> list[list[Response]]:
+    """Split responses into datagram-sized groups (stream-order preserved)."""
+    chunks: list[list[Response]] = []
+    current: list[Response] = []
+    size = 0
+    for response in responses:
+        wire = response.wire_size
+        if current and size + wire > MAX_RESPONSE_PAYLOAD:
+            chunks.append(current)
+            current, size = [], 0
+        current.append(response)
+        size += wire
+    if current:
+        chunks.append(current)
+    return chunks

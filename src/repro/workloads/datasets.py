@@ -1,0 +1,77 @@
+"""The four key-value datasets of the paper's benchmark (Section V-A).
+
+K8)   8 B key,   8 B value
+K16) 16 B key,  64 B value
+K32) 32 B key, 256 B value
+K128) 128 B key, 1024 B value
+
+The store is filled with as many objects as fit in the 1,908 MB shareable
+region, so the object count varies with the dataset (the paper notes this
+explicitly).  Keys are derived deterministically from their rank so clients
+and the store agree on the key space without sharing state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One key/value size pair plus helpers for materialising keys."""
+
+    name: str
+    key_size: int
+    value_size: int
+
+    def __post_init__(self) -> None:
+        if self.key_size < 8:
+            raise WorkloadError("keys must be at least 8 bytes (rank prefix)")
+        if self.value_size <= 0:
+            raise WorkloadError("value size must be positive")
+
+    @property
+    def object_size(self) -> int:
+        """Payload bytes per object."""
+        return self.key_size + self.value_size
+
+    def key_for_rank(self, rank: int) -> bytes:
+        """Deterministic key for popularity rank ``rank``.
+
+        An 8-byte little-endian rank followed by repeating filler to reach
+        ``key_size``; distinct ranks always yield distinct keys.
+        """
+        prefix = struct.pack("<q", rank)
+        filler = (b"k" * (self.key_size - len(prefix)))
+        return prefix + filler
+
+    def value_for_rank(self, rank: int) -> bytes:
+        """Deterministic value for ``rank`` (content checked in round trips)."""
+        seed = struct.pack("<q", ~rank & 0xFFFFFFFFFFFFFFF)
+        reps = -(-self.value_size // len(seed))  # ceil division
+        return (seed * reps)[: self.value_size]
+
+    def num_objects(self, memory_bytes: int, overhead_bytes: int = 40) -> int:
+        """Objects that fit in ``memory_bytes`` including per-object overhead."""
+        return max(1, memory_bytes // (self.object_size + overhead_bytes))
+
+
+K8 = Dataset("K8", key_size=8, value_size=8)
+K16 = Dataset("K16", key_size=16, value_size=64)
+K32 = Dataset("K32", key_size=32, value_size=256)
+K128 = Dataset("K128", key_size=128, value_size=1024)
+
+DATASETS: tuple[Dataset, ...] = (K8, K16, K32, K128)
+
+_BY_NAME = {d.name: d for d in DATASETS}
+
+
+def dataset_by_name(name: str) -> Dataset:
+    """Look up a built-in dataset (``"K8"`` ... ``"K128"``)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise WorkloadError(f"unknown dataset {name!r}; expected one of {sorted(_BY_NAME)}") from None

@@ -1,0 +1,115 @@
+"""Facebook-style Memcached workload approximations (USR, ETC).
+
+The paper's motivation (Section II-C1) cites the Facebook workload analysis
+[Atikoglu et al., SIGMETRICS 2012]: GET ratios ranging from 18 % to 99 %,
+value sizes from a couple of bytes to tens of kilobytes, and highly variable
+key popularity.  These classes approximate two of the published traces so
+examples and tests can exercise DIDO on "production-shaped" traffic:
+
+* **USR** — user-account status: tiny (2 B) values, ~99 % GET;
+* **ETC** — general cache tier: widely spread value sizes (modelled as a
+  discrete mixture straddling 1,000 B, per the paper's description that the
+  counts below and above 1 kB are comparable), ~95 % GET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.kv.protocol import Query, QueryType
+from repro.workloads.distributions import make_distribution
+
+
+@dataclass(frozen=True)
+class FacebookWorkload:
+    """A size-mixture workload with a fixed GET ratio and Zipf popularity.
+
+    ``value_sizes``/``value_weights`` define a discrete value-size mixture;
+    keys are 16 B with an 8 B rank prefix.
+    """
+
+    name: str
+    get_ratio: float
+    value_sizes: tuple[int, ...]
+    value_weights: tuple[float, ...]
+    zipf_skew: float = 0.99
+    key_size: int = 16
+
+    def __post_init__(self) -> None:
+        if len(self.value_sizes) != len(self.value_weights):
+            raise WorkloadError("value_sizes and value_weights must align")
+        if abs(sum(self.value_weights) - 1.0) > 1e-9:
+            raise WorkloadError("value_weights must sum to 1")
+        if not 0.0 <= self.get_ratio <= 1.0:
+            raise WorkloadError("get_ratio must be within [0, 1]")
+
+    @property
+    def mean_value_size(self) -> float:
+        return sum(s * w for s, w in zip(self.value_sizes, self.value_weights))
+
+
+FACEBOOK_USR = FacebookWorkload(
+    name="USR",
+    get_ratio=0.99,
+    value_sizes=(2,),
+    value_weights=(1.0,),
+)
+
+FACEBOOK_ETC = FacebookWorkload(
+    name="ETC",
+    get_ratio=0.95,
+    value_sizes=(64, 256, 768, 2048, 8192),
+    value_weights=(0.30, 0.15, 0.15, 0.30, 0.10),
+)
+
+
+class FacebookQueryStream:
+    """Batch generator for a :class:`FacebookWorkload`."""
+
+    def __init__(self, workload: FacebookWorkload, num_keys: int, seed: int = 0):
+        if num_keys <= 0:
+            raise WorkloadError("num_keys must be positive")
+        self.workload = workload
+        self.num_keys = num_keys
+        self._distribution = make_distribution(num_keys, workload.zipf_skew, seed=seed)
+        self._rng = np.random.default_rng(seed ^ 0xFACEB)
+        # Per-rank value size is fixed (an object has one size), drawn once.
+        self._size_choices = np.asarray(workload.value_sizes)
+        self._size_cdf = np.cumsum(workload.value_weights)
+
+    def _value_size_for_rank(self, rank: int) -> int:
+        """Deterministic per-rank size draw from the mixture."""
+        u = ((rank * 2654435761) & 0xFFFFFFFF) / 2**32
+        idx = int(np.searchsorted(self._size_cdf, u, side="right"))
+        return int(self._size_choices[min(idx, len(self._size_choices) - 1)])
+
+    def _key(self, rank: int) -> bytes:
+        prefix = int(rank).to_bytes(8, "little")
+        return prefix + b"f" * (self.workload.key_size - 8)
+
+    def _value(self, rank: int) -> bytes:
+        size = self._value_size_for_rank(rank)
+        pattern = int(rank).to_bytes(8, "little")
+        reps = -(-size // 8)
+        return (pattern * reps)[:size]
+
+    def next_batch(self, count: int) -> list[Query]:
+        """Generate ``count`` queries following the trace's mix."""
+        ranks = self._distribution.sample(count)
+        is_get = self._rng.random(count) < self.workload.get_ratio
+        queries: list[Query] = []
+        for rank, get in zip(ranks.tolist(), is_get.tolist()):
+            if get:
+                queries.append(Query(QueryType.GET, self._key(rank)))
+            else:
+                queries.append(Query(QueryType.SET, self._key(rank), self._value(rank)))
+        return queries
+
+    def average_sizes(self, sample: int = 4096) -> tuple[float, float]:
+        """(avg key size, avg value size) over a popularity-weighted sample."""
+        ranks = self._distribution.sample(sample)
+        sizes = [self._value_size_for_rank(r) for r in ranks.tolist()]
+        return float(self.workload.key_size), float(np.mean(sizes))

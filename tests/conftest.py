@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.profiler import WorkloadProfile
+from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV
+from repro.kv.store import KVStore
+from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.workloads.ycsb import QueryStream, standard_workload
+
+
+@pytest.fixture(scope="session")
+def apu():
+    return APU_A10_7850K
+
+
+@pytest.fixture(scope="session")
+def discrete():
+    return DISCRETE_MEGAKV
+
+
+@pytest.fixture(scope="session")
+def executor(apu):
+    """Detailed-fidelity executor (shared: it is stateless besides caches)."""
+    return PipelineExecutor(apu)
+
+
+@pytest.fixture(scope="session")
+def cost_model(apu):
+    return CostModel(apu)
+
+
+@pytest.fixture
+def small_store():
+    """A store small enough to hit eviction quickly in tests."""
+    return KVStore(memory_bytes=4 * 1024 * 1024, expected_objects=4096)
+
+
+@pytest.fixture
+def megakv_config():
+    return megakv_coupled_config()
+
+
+@pytest.fixture
+def k16_stream():
+    """Deterministic K16-G95-S query stream over a small key space."""
+    return QueryStream(standard_workload("K16-G95-S"), num_keys=2000, seed=11)
+
+
+def profile_for(label: str) -> WorkloadProfile:
+    """Helper used across test modules (import from conftest)."""
+    return WorkloadProfile.from_spec(standard_workload(label))

@@ -1,0 +1,80 @@
+"""Unit tests for metrics and reporting helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    energy_efficiency_kops_per_watt,
+    error_rate,
+    improvement_pct,
+    price_performance_kops_per_usd,
+    speedup,
+)
+from repro.analysis.reporting import Table, format_row
+from repro.errors import ConfigurationError
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(30.0, 15.0) == pytest.approx(2.0)
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)
+
+    def test_improvement_pct(self):
+        assert improvement_pct(18.1, 10.0) == pytest.approx(81.0)
+
+    def test_error_rate_sign(self):
+        """Paper definition: positive when the model underestimates."""
+        assert error_rate(measured=100.0, estimated=90.0) == pytest.approx(0.1)
+        assert error_rate(measured=100.0, estimated=110.0) == pytest.approx(-0.1)
+
+    def test_price_performance(self):
+        # 17.3 MOPS on a $173 part = 100 KOPS/USD.
+        assert price_performance_kops_per_usd(17.3, 173.0) == pytest.approx(100.0)
+
+    def test_energy_efficiency(self):
+        # 9.5 MOPS at 95 W = 100 KOPS/W.
+        assert energy_efficiency_kops_per_watt(9.5, 95.0) == pytest.approx(100.0)
+
+    def test_invalid_denominators(self):
+        with pytest.raises(ConfigurationError):
+            price_performance_kops_per_usd(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            energy_efficiency_kops_per_watt(1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            error_rate(0.0, 1.0)
+
+
+class TestReporting:
+    def test_format_row_floats(self):
+        row = format_row(["x", 1.23456, 7], [4, 8, 3])
+        assert "1.235" in row
+        assert row.startswith("x")
+
+    def test_table_render(self):
+        table = Table("Demo", ["name", "value"])
+        table.add("alpha", 1.5)
+        table.add("beta", 2.0)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert text.count("\n") >= 5
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_table_widths_fit_contents(self):
+        table = Table("T", ["col"])
+        table.add("a-very-long-cell-value")
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        assert len(header_line) <= len(lines[-1])
+
+    def test_show_prints(self, capsys):
+        table = Table("Printed", ["x"])
+        table.add(1.0)
+        table.show()
+        assert "Printed" in capsys.readouterr().out

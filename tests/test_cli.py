@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "K16-G95-S"])
+        assert args.workload == "K16-G95-S"
+        assert args.top == 8
+        assert args.latency_us == 1000.0
+
+    def test_measure_config_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["measure", "K8-G95-U", "--config", "nope"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "K16-G95-S" in out
+        assert out.count("K8-") == 6
+
+    def test_plan(self, capsys):
+        assert main(["plan", "K16-G95-S", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out
+        assert "GPU" in out
+
+    def test_plan_bad_workload(self, capsys):
+        assert main(["plan", "K9-G95-S"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_measure_dido(self, capsys):
+        assert main(["measure", "K8-G95-U"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput (MOPS)" in out
+        assert "DIDO" in out
+
+    def test_measure_megakv(self, capsys):
+        assert main(["measure", "K8-G95-U", "--config", "megakv"]) == 0
+        out = capsys.readouterr().out
+        assert "Mega-KV" in out
+
+    def test_figures_quick(self, capsys):
+        assert main(["figures", "fig04", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Figure 6" in out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err

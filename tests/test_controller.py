@@ -1,0 +1,78 @@
+"""Unit tests for the adaptation controller."""
+
+import pytest
+
+from repro.core.controller import AdaptationController
+from repro.core.profiler import WorkloadProfile
+from repro.hardware.specs import APU_A10_7850K
+
+from conftest import profile_for
+
+
+@pytest.fixture
+def controller():
+    return AdaptationController(APU_A10_7850K)
+
+
+class TestPlanning:
+    def test_first_call_plans(self, controller):
+        config = controller.config_for(profile_for("K16-G95-S"))
+        assert config is not None
+        assert controller.replan_count == 1
+        assert controller.current_config is config
+
+    def test_steady_workload_no_replans(self, controller):
+        profile = profile_for("K16-G95-S")
+        first = controller.config_for(profile)
+        for _ in range(10):
+            assert controller.config_for(profile) is first
+        assert controller.replan_count == 1
+
+    def test_small_drift_no_replan(self, controller):
+        controller.config_for(WorkloadProfile(0.95, 16, 64, 0.99))
+        controller.config_for(WorkloadProfile(0.93, 17, 66, 0.97))
+        assert controller.replan_count == 1
+
+    def test_substantial_change_replans(self, controller):
+        controller.config_for(profile_for("K16-G95-S"))
+        controller.config_for(profile_for("K8-G50-U"))
+        assert controller.replan_count == 2
+
+    def test_replan_compares_to_planned_profile_not_last(self, controller):
+        """Drift accumulates against the profile the plan was made for, so
+        a slow 15 % drift in 5 % steps still eventually triggers."""
+        controller.config_for(WorkloadProfile(0.95, 16, 64.0, 0.99))
+        controller.config_for(WorkloadProfile(0.95, 16, 67.0, 0.99))  # +4.7 %
+        assert controller.replan_count == 1
+        controller.config_for(WorkloadProfile(0.95, 16, 71.0, 0.99))  # +11 % total
+        assert controller.replan_count == 2
+
+    def test_events_record_labels(self, controller):
+        controller.config_for(profile_for("K16-G95-S"))
+        controller.config_for(profile_for("K8-G50-U"))
+        assert controller.events[0].old_label == "<none>"
+        assert controller.events[1].old_label != "<none>"
+        assert controller.events[1].trigger_change > 0.10
+
+    def test_force_replan(self, controller):
+        profile = profile_for("K16-G95-S")
+        controller.config_for(profile)
+        controller.force_replan()
+        controller.config_for(profile)
+        assert controller.replan_count == 2
+
+    def test_estimate_exposed(self, controller):
+        controller.config_for(profile_for("K16-G95-S"))
+        assert controller.current_estimate.throughput_mops > 0
+
+    def test_alternating_workloads_replan_each_switch(self, controller):
+        a, b = profile_for("K8-G50-U"), profile_for("K16-G95-S")
+        for profile in (a, a, b, b, a, b):
+            controller.config_for(profile)
+        # Plans at: first a, a->b, b->a, a->b = 4 replans.
+        assert controller.replan_count == 4
+
+    def test_work_stealing_flag_respected(self):
+        controller = AdaptationController(APU_A10_7850K, work_stealing=False)
+        config = controller.config_for(profile_for("K16-G95-S"))
+        assert not config.work_stealing

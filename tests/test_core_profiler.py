@@ -1,0 +1,157 @@
+"""Unit tests for the workload profiler and skew estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import (
+    CHANGE_THRESHOLD,
+    WorkloadProfile,
+    WorkloadProfiler,
+    estimate_zipf_skew,
+    profile_delta,
+    sample_skewness,
+)
+from repro.errors import WorkloadError
+from repro.kv.protocol import Query, QueryType
+from repro.workloads.distributions import ZipfKeys
+from repro.workloads.ycsb import standard_workload
+
+
+def queries(gets: int, sets: int, key_size: int = 16, value_size: int = 64):
+    out = [Query(QueryType.GET, bytes(key_size)) for _ in range(gets)]
+    out += [
+        Query(QueryType.SET, bytes(key_size), b"v" * value_size) for _ in range(sets)
+    ]
+    return out
+
+
+class TestWorkloadProfile:
+    def test_from_spec(self):
+        profile = WorkloadProfile.from_spec(standard_workload("K32-G95-S"))
+        assert profile.get_ratio == pytest.approx(0.95)
+        assert profile.avg_key_size == 32.0
+        assert profile.avg_value_size == 256.0
+        assert profile.zipf_skew == pytest.approx(0.99)
+
+    def test_set_ratio(self):
+        profile = WorkloadProfile(0.8, 16, 64, 0.0)
+        assert profile.set_ratio == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(1.5, 16, 64, 0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(0.5, 0, 64, 0.0)
+
+
+class TestProfiler:
+    def test_counts_mix(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_batch(queries(95, 5))
+        profile = profiler.snapshot()
+        assert profile.get_ratio == pytest.approx(0.95)
+        assert profile.batch_queries == 100
+
+    def test_average_sizes(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_batch(queries(0, 10, key_size=32, value_size=128))
+        profile = profiler.snapshot()
+        assert profile.avg_key_size == pytest.approx(32.0)
+        assert profile.avg_value_size == pytest.approx(128.0)
+
+    def test_get_value_sizes_via_observation(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_batch(queries(10, 0))
+        for _ in range(10):
+            profiler.observe_value_size(200)
+        profile = profiler.snapshot()
+        assert profile.avg_value_size == pytest.approx(200.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfiler().snapshot()
+
+    def test_epoch_advances(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_batch(queries(1, 0))
+        assert profiler.epoch == 0
+        profiler.snapshot()
+        assert profiler.epoch == 1
+
+    def test_insert_buckets_carried(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_insert_buckets(3.2)
+        profiler.observe_batch(queries(1, 0))
+        assert profiler.snapshot().insert_buckets == pytest.approx(3.2)
+
+    def test_window_resets(self):
+        profiler = WorkloadProfiler()
+        profiler.observe_batch(queries(10, 0))
+        profiler.snapshot()
+        profiler.observe_batch(queries(0, 10))
+        assert profiler.snapshot().get_ratio == 0.0
+
+
+class TestSkewEstimation:
+    def test_uniform_frequencies_estimate_zero(self):
+        freqs = np.ones(1000)
+        assert estimate_zipf_skew(freqs) == 0.0
+
+    def test_zipf_sample_recovers_exponent(self):
+        dist = ZipfKeys(50_000, skew=0.99, seed=21)
+        ranks = dist.sample(200_000)
+        _, counts = np.unique(ranks, return_counts=True)
+        estimate = estimate_zipf_skew(counts.astype(float))
+        assert estimate == pytest.approx(0.99, abs=0.25)
+
+    def test_mild_skew_lower_estimate(self):
+        strong = ZipfKeys(50_000, skew=1.1, seed=22)
+        mild = ZipfKeys(50_000, skew=0.5, seed=22)
+        est = {}
+        for name, dist in (("strong", strong), ("mild", mild)):
+            _, counts = np.unique(dist.sample(100_000), return_counts=True)
+            est[name] = estimate_zipf_skew(counts.astype(float))
+        assert est["strong"] > est["mild"]
+
+    def test_too_few_samples(self):
+        assert estimate_zipf_skew(np.array([5.0, 3.0])) == 0.0
+
+    def test_sample_skewness_symmetry(self):
+        symmetric = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert sample_skewness(symmetric) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sample_skewness_right_tail(self):
+        right = np.array([1.0] * 50 + [100.0])
+        assert sample_skewness(right) > 1.0
+
+    def test_sample_skewness_degenerate(self):
+        assert sample_skewness(np.array([2.0, 2.0, 2.0, 2.0])) == 0.0
+
+
+class TestProfileDelta:
+    def base(self):
+        return WorkloadProfile(0.95, 16, 64, 0.99)
+
+    def test_identical_not_substantial(self):
+        delta = profile_delta(self.base(), self.base())
+        assert not delta.substantial
+        assert delta.max_change == pytest.approx(0.0)
+
+    def test_value_size_change_detected(self):
+        new = WorkloadProfile(0.95, 16, 128, 0.99)
+        assert profile_delta(new, self.base()).substantial
+
+    def test_get_ratio_change_detected(self):
+        new = WorkloadProfile(0.50, 16, 64, 0.99)
+        assert profile_delta(new, self.base()).substantial
+
+    def test_skew_change_detected(self):
+        new = WorkloadProfile(0.95, 16, 64, 0.0)
+        assert profile_delta(new, self.base()).substantial
+
+    def test_small_drift_ignored(self):
+        """Under the 10 % threshold nothing triggers (paper Section III-A)."""
+        new = WorkloadProfile(0.93, 16.5, 66, 0.95)
+        delta = profile_delta(new, self.base())
+        assert delta.max_change < CHANGE_THRESHOLD
+        assert not delta.substantial

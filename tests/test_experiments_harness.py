@@ -1,0 +1,121 @@
+"""Structural tests of the experiment harness (repro.analysis.experiments).
+
+The benchmark suite asserts the paper's claims; these tests pin down the
+harness's *contracts* — row counts, label sets, determinism — so benchmark
+failures always mean a modelling change, never a harness bug.
+"""
+
+import pytest
+
+from repro.analysis import experiments as X
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return X.Harness()
+
+
+class TestFig04:
+    def test_rows_and_order(self, harness):
+        rows = X.fig04_stage_times(harness)
+        assert [r.dataset for r in rows] == ["K8", "K16", "K32", "K128"]
+        for r in rows:
+            assert r.batch > 0
+            assert r.np_us > 0 and r.in_us > 0 and r.rsv_us > 0
+
+    def test_deterministic(self, harness):
+        a = X.fig04_stage_times(harness)
+        b = X.fig04_stage_times(harness)
+        assert [(r.np_us, r.in_us, r.rsv_us) for r in a] == [
+            (r.np_us, r.in_us, r.rsv_us) for r in b
+        ]
+
+
+class TestFig06:
+    def test_shares_sum_to_one(self, harness):
+        for r in X.fig06_index_op_shares(harness):
+            assert r.search_share + r.insert_share + r.delete_share == pytest.approx(1.0)
+
+    def test_insert_batches_match_paper_axis(self, harness):
+        rows = X.fig06_index_op_shares(harness)
+        assert [r.insert_batch for r in rows] == [1000, 2000, 3000, 4000, 5000]
+
+
+class TestFig09:
+    def test_covers_all_24_workloads(self, harness):
+        rows = X.fig09_cost_model_error(harness)
+        assert len({r.workload for r in rows}) == 24
+
+    def test_error_definition(self, harness):
+        for r in X.fig09_cost_model_error(harness):
+            expected = (r.measured_mops - r.estimated_mops) / r.measured_mops
+            assert r.error == pytest.approx(expected)
+
+
+class TestFig11:
+    def test_rows_complete(self, harness):
+        rows = X.fig11_throughput(harness)
+        assert len(rows) == 24
+        for r in rows:
+            assert r.baseline_mops > 0
+            assert r.speedup == pytest.approx(r.dido_mops / r.baseline_mops)
+            assert "CPU" in r.dido_config
+
+    def test_dido_plan_cache_consistency(self, harness):
+        """The harness caches DIDO's plan per workload: repeated calls agree."""
+        from repro.workloads.ycsb import standard_workload
+
+        spec = standard_workload("K16-G95-S")
+        c1, e1 = harness.dido_plan(spec)
+        c2, e2 = harness.dido_plan(spec)
+        assert c1 is c2 and e1 is e2
+
+
+class TestFig13to15:
+    def test_fig13_covers_g95_and_g50(self, harness):
+        rows = X.fig13_flexible_index(harness)
+        assert len(rows) == 16
+        assert all(("-G95-" in r.workload) or ("-G50-" in r.workload) for r in rows)
+
+    def test_fig15_baseline_is_no_steal(self, harness):
+        rows = X.fig15_work_stealing(harness)
+        assert len(rows) == 24
+        # Stealing cannot make the same configuration slower.
+        assert all(r.technique_mops >= r.baseline_mops * 0.999 for r in rows)
+
+
+class TestFig16:
+    def test_twelve_shared_workloads(self, harness):
+        rows = X.fig16_discrete_comparison(harness)
+        assert len(rows) == 12
+        assert not any("-G50-" in r.workload for r in rows)
+        assert not any(r.workload.startswith("K32") for r in rows)
+
+    def test_derived_metrics_positive(self, harness):
+        for r in X.fig16_discrete_comparison(harness):
+            dido_pp, disc_pp = r.price_performance()
+            dido_ee, disc_ee = r.energy_efficiency()
+            assert min(dido_pp, disc_pp, dido_ee, disc_ee) > 0
+
+
+class TestFig19:
+    def test_grid(self, harness):
+        rows = X.fig19_latency_budgets(harness)
+        budgets = {r.latency_us for r in rows}
+        assert budgets == {600.0, 800.0, 1000.0}
+        assert len({r.workload for r in rows}) == 4
+
+
+class TestFig20:
+    def test_timeline_monotone_time(self, harness):
+        timeline = X.fig20_adaptation_timeline(harness, cycle_ms=4.0, duration_ms=8.0)
+        assert timeline.times_ms == sorted(timeline.times_ms)
+        assert all(t >= 0 for t in timeline.throughput_mops)
+        assert timeline.replans >= 2
+
+
+class TestFig21:
+    def test_cycles_covered(self, harness):
+        rows = X.fig21_fluctuation(harness, cycles_ms=(2, 8, 32))
+        assert [r.cycle_ms for r in rows] == [2, 8, 32]
+        assert all(r.speedup > 0 for r in rows)

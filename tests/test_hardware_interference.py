@@ -1,0 +1,69 @@
+"""Unit tests for the CPU/GPU interference model (mu)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.interference import InterferenceModel, measure_interference
+from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV, ProcessorKind
+
+
+@pytest.fixture
+def model():
+    return InterferenceModel(APU_A10_7850K)
+
+
+class TestMu:
+    def test_no_other_traffic_no_slowdown(self, model):
+        assert model.mu(ProcessorKind.CPU, 1e8, 0.0) == pytest.approx(1.0)
+        assert model.mu(ProcessorKind.GPU, 0.0, 1e8) == pytest.approx(1.0)
+
+    def test_mu_at_least_one(self, model):
+        for cpu_rate in (0.0, 1e7, 1e8):
+            for gpu_rate in (0.0, 1e7, 1e8):
+                assert model.mu(ProcessorKind.CPU, cpu_rate, gpu_rate) >= 1.0
+                assert model.mu(ProcessorKind.GPU, cpu_rate, gpu_rate) >= 1.0
+
+    def test_gpu_hurts_cpu_more_than_vice_versa(self, model):
+        """Paper (citing Kayiran et al.): GPUs impact CPUs more."""
+        rate = 2e8
+        mu_cpu = model.mu(ProcessorKind.CPU, rate, rate)
+        mu_gpu = model.mu(ProcessorKind.GPU, rate, rate)
+        assert mu_cpu > mu_gpu
+
+    def test_monotone_in_other_traffic(self, model):
+        rates = (1e7, 5e7, 2e8, 5e8)
+        mus = [model.mu(ProcessorKind.CPU, 1e8, g) for g in rates]
+        assert mus == sorted(mus)
+
+    def test_pressure_gates_effect(self, model):
+        """Tiny combined traffic causes almost no slowdown."""
+        assert model.mu(ProcessorKind.CPU, 1e4, 1e4) < 1.01
+
+    def test_discrete_platform_negligible(self):
+        model = InterferenceModel(DISCRETE_MEGAKV)
+        assert model.mu(ProcessorKind.CPU, 5e8, 5e8) < 1.06
+
+    def test_negative_rate_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.mu(ProcessorKind.CPU, -1.0, 0.0)
+
+
+class TestMicrobenchmark:
+    def test_grid_size(self):
+        samples = measure_interference(APU_A10_7850K, rates=(0.0, 1e8))
+        assert len(samples) == 4
+
+    def test_samples_match_model(self):
+        model = InterferenceModel(APU_A10_7850K)
+        for s in measure_interference(APU_A10_7850K):
+            assert s.mu_cpu == pytest.approx(
+                model.mu(ProcessorKind.CPU, s.cpu_accesses, s.gpu_accesses)
+            )
+            assert s.mu_gpu == pytest.approx(
+                model.mu(ProcessorKind.GPU, s.cpu_accesses, s.gpu_accesses)
+            )
+
+    def test_zero_zero_is_neutral(self):
+        samples = measure_interference(APU_A10_7850K, rates=(0.0,))
+        assert samples[0].mu_cpu == 1.0
+        assert samples[0].mu_gpu == 1.0

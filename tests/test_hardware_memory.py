@@ -1,0 +1,135 @@
+"""Unit tests for the cache/memory access-cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import (
+    AccessPattern,
+    MemorySystem,
+    access_cost_ns,
+    object_access_pattern,
+)
+from repro.hardware.specs import APU_A10_7850K, ProcessorKind
+
+
+class TestAccessPattern:
+    def test_add(self):
+        total = AccessPattern(1.0, 2.0) + AccessPattern(0.5, 1.0)
+        assert total.memory_accesses == pytest.approx(1.5)
+        assert total.cache_accesses == pytest.approx(3.0)
+
+    def test_scaled(self):
+        p = AccessPattern(2.0, 4.0).scaled(0.5)
+        assert p.memory_accesses == pytest.approx(1.0)
+        assert p.cache_accesses == pytest.approx(2.0)
+
+    def test_hot_fraction_moves_accesses(self):
+        p = AccessPattern(2.0, 1.0).with_hot_fraction(0.5)
+        assert p.memory_accesses == pytest.approx(1.0)
+        assert p.cache_accesses == pytest.approx(2.0)
+
+    def test_hot_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AccessPattern(1.0, 0.0).with_hot_fraction(1.5)
+
+    def test_hot_fraction_preserves_total(self):
+        p = AccessPattern(3.0, 2.0)
+        q = p.with_hot_fraction(0.7)
+        assert p.memory_accesses + p.cache_accesses == pytest.approx(
+            q.memory_accesses + q.cache_accesses
+        )
+
+
+class TestObjectAccessPattern:
+    def test_one_line_object(self):
+        p = object_access_pattern(40, 64)
+        assert p.memory_accesses == 1.0
+        assert p.cache_accesses == 0.0
+
+    def test_multi_line_object(self):
+        """Paper: one random access plus ceil(L/C)-1 cache accesses."""
+        p = object_access_pattern(300, 64)
+        assert p.memory_accesses == 1.0
+        assert p.cache_accesses == 4.0  # ceil(300/64)=5 lines
+
+    def test_already_cached(self):
+        p = object_access_pattern(300, 64, already_cached=True)
+        assert p.memory_accesses == 0.0
+        assert p.cache_accesses == 5.0
+
+    def test_sequential(self):
+        p = object_access_pattern(300, 64, sequential=True)
+        assert p.memory_accesses == 0.0
+        assert p.cache_accesses == 5.0
+
+    def test_zero_bytes(self):
+        p = object_access_pattern(0, 64)
+        assert p.memory_accesses == 0.0 and p.cache_accesses == 0.0
+
+    def test_exact_line_boundary(self):
+        p = object_access_pattern(128, 64)
+        assert p.memory_accesses == 1.0
+        assert p.cache_accesses == 1.0
+
+
+class TestAccessCost:
+    def test_random_cost_uses_mlp(self):
+        cpu = APU_A10_7850K.cpu
+        cost = access_cost_ns(AccessPattern(1.0, 0.0), cpu)
+        assert cost == pytest.approx(cpu.mem_latency_ns / cpu.mem_parallelism)
+
+    def test_cache_cost(self):
+        cpu = APU_A10_7850K.cpu
+        cost = access_cost_ns(AccessPattern(0.0, 3.0), cpu)
+        assert cost == pytest.approx(3 * cpu.cache_latency_ns)
+
+    def test_interference_scales(self):
+        cpu = APU_A10_7850K.cpu
+        base = access_cost_ns(AccessPattern(1.0, 1.0), cpu)
+        slowed = access_cost_ns(AccessPattern(1.0, 1.0), cpu, interference=1.5)
+        assert slowed == pytest.approx(1.5 * base)
+
+    def test_interference_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            access_cost_ns(AccessPattern(1.0, 0.0), APU_A10_7850K.cpu, interference=0.9)
+
+
+class TestMemorySystem:
+    @pytest.fixture
+    def mem(self):
+        return MemorySystem(APU_A10_7850K)
+
+    def test_object_capacity_shrinks_with_size(self, mem):
+        small = mem.object_capacity(8, 8)
+        large = mem.object_capacity(128, 1024)
+        assert small > large > 0
+
+    def test_capacity_accounts_overhead(self, mem):
+        per_object = 8 + 8 + MemorySystem.OBJECT_OVERHEAD_BYTES
+        expected = APU_A10_7850K.shared_memory_bytes // per_object
+        assert mem.object_capacity(8, 8) == expected
+
+    def test_hot_fraction_zero_for_uniform_large_store(self, mem):
+        p = mem.hot_fraction(ProcessorKind.CPU, 8, 8, zipf_skew=0.0)
+        assert p < 0.01
+
+    def test_hot_fraction_substantial_for_zipf(self, mem):
+        p = mem.hot_fraction(ProcessorKind.CPU, 8, 8, zipf_skew=0.99)
+        assert 0.3 < p < 0.95
+
+    def test_hot_fraction_smaller_on_gpu(self, mem):
+        cpu = mem.hot_fraction(ProcessorKind.CPU, 16, 64, zipf_skew=0.99)
+        gpu = mem.hot_fraction(ProcessorKind.GPU, 16, 64, zipf_skew=0.99)
+        assert gpu < cpu
+
+    def test_hot_fraction_decreases_with_object_size(self, mem):
+        small = mem.hot_fraction(ProcessorKind.CPU, 8, 8, zipf_skew=0.99)
+        large = mem.hot_fraction(ProcessorKind.CPU, 128, 1024, zipf_skew=0.99)
+        assert large < small
+
+    def test_hot_fraction_full_when_store_fits_in_cache(self, mem):
+        p = mem.hot_fraction(ProcessorKind.CPU, 8, 8, zipf_skew=0.99, total_objects=100)
+        assert p == pytest.approx(1.0)
+
+    def test_bandwidth(self, mem):
+        assert mem.bytes_per_second() == pytest.approx(21.3e9)

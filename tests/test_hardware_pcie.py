@@ -1,0 +1,43 @@
+"""Unit tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV
+
+
+class TestCoupled:
+    def test_transfers_free(self):
+        link = PCIeLink(APU_A10_7850K)
+        assert link.coupled
+        assert link.transfer_ns(1 << 20) == 0.0
+        assert link.round_trip_ns(1 << 20, 1 << 20) == 0.0
+
+
+class TestDiscrete:
+    @pytest.fixture
+    def link(self):
+        return PCIeLink(DISCRETE_MEGAKV)
+
+    def test_latency_floor(self, link):
+        tiny = link.transfer_ns(1)
+        assert tiny >= DISCRETE_MEGAKV.pcie_latency_us * 1000.0
+
+    def test_bandwidth_term(self, link):
+        small = link.transfer_ns(1 << 10)
+        large = link.transfer_ns(1 << 24)
+        expected_delta = ((1 << 24) - (1 << 10)) / DISCRETE_MEGAKV.pcie_bandwidth_gbs
+        assert large - small == pytest.approx(expected_delta, rel=1e-6)
+
+    def test_zero_bytes_free(self, link):
+        assert link.transfer_ns(0) == 0.0
+
+    def test_round_trip_sums(self, link):
+        assert link.round_trip_ns(1000, 2000) == pytest.approx(
+            link.transfer_ns(1000) + link.transfer_ns(2000)
+        )
+
+    def test_negative_payload_rejected(self, link):
+        with pytest.raises(ConfigurationError):
+            link.transfer_ns(-1)

@@ -1,0 +1,68 @@
+"""Unit tests for key-value objects, signatures, and the FNV hash."""
+
+import pytest
+
+from repro.kv.objects import KVObject, fnv1a64, key_signature
+
+
+class TestFnv1a64:
+    def test_deterministic(self):
+        assert fnv1a64(b"hello") == fnv1a64(b"hello")
+
+    def test_differs_on_input(self):
+        assert fnv1a64(b"hello") != fnv1a64(b"hellp")
+
+    def test_seed_changes_output(self):
+        assert fnv1a64(b"key", seed=1) != fnv1a64(b"key", seed=2)
+
+    def test_empty_input(self):
+        # FNV of empty data is the (seed-mixed) offset basis, not an error.
+        assert fnv1a64(b"") != 0
+
+    def test_64_bit_range(self):
+        for data in (b"", b"a", b"x" * 1000):
+            assert 0 <= fnv1a64(data) < 2**64
+
+    def test_avalanche_on_multibyte_input(self):
+        # A one-bit change early in a multi-byte key diffuses broadly.
+        a = fnv1a64(b"\x00" + b"pad" * 4)
+        b = fnv1a64(b"\x01" + b"pad" * 4)
+        assert bin(a ^ b).count("1") > 16
+
+
+class TestKeySignature:
+    def test_32_bit_range(self):
+        assert 0 <= key_signature(b"some-key") < 2**32
+
+    def test_equal_keys_equal_signatures(self):
+        assert key_signature(b"k1") == key_signature(b"k1")
+
+    def test_spread(self):
+        sigs = {key_signature(bytes([i, j])) for i in range(16) for j in range(16)}
+        assert len(sigs) == 256  # no collisions among 256 tiny keys
+
+
+class TestKVObject:
+    def test_size_bytes(self):
+        obj = KVObject(b"abcd", b"0123456789")
+        assert obj.size_bytes == 14
+
+    def test_signature_computed(self):
+        obj = KVObject(b"abcd", b"v")
+        assert obj.signature == key_signature(b"abcd")
+
+    def test_record_access_new_epoch_resets(self):
+        obj = KVObject(b"k", b"v")
+        assert obj.record_access(epoch=1) == 1
+        assert obj.record_access(epoch=1) == 2
+        assert obj.record_access(epoch=2) == 1  # new sampling window
+
+    def test_record_access_tracks_epoch(self):
+        obj = KVObject(b"k", b"v")
+        obj.record_access(epoch=7)
+        assert obj.sample_epoch == 7
+
+    def test_initial_state(self):
+        obj = KVObject(b"k", b"v")
+        assert obj.access_count == 0
+        assert obj.sample_epoch == -1

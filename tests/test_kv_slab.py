@@ -1,0 +1,149 @@
+"""Unit tests for the slab allocator with LRU eviction."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.kv.objects import KVObject
+from repro.kv.slab import SlabAllocator
+
+
+def obj(key: str, size: int = 8) -> KVObject:
+    return KVObject(key.encode(), b"v" * size)
+
+
+class TestConstruction:
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(0)
+
+    def test_rejects_bad_growth(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(1 << 20, growth_factor=1.0)
+
+    def test_chunk_size_geometry(self):
+        slab = SlabAllocator(1 << 20, growth_factor=2.0, min_chunk=16)
+        assert slab.chunk_size_for(10) == 16
+        assert slab.chunk_size_for(16) == 16
+        assert slab.chunk_size_for(17) == 32
+        assert slab.chunk_size_for(100) == 128
+
+
+class TestAllocateFree:
+    def test_allocate_returns_fresh_locations(self):
+        slab = SlabAllocator(1 << 20)
+        loc1, _ = slab.allocate(obj("a"))
+        loc2, _ = slab.allocate(obj("b"))
+        assert loc1 != loc2
+
+    def test_get_returns_object(self):
+        slab = SlabAllocator(1 << 20)
+        o = obj("a")
+        loc, _ = slab.allocate(o)
+        assert slab.get(loc) is o
+
+    def test_get_unknown_location(self):
+        slab = SlabAllocator(1 << 20)
+        assert slab.get(12345) is None
+
+    def test_free_removes(self):
+        slab = SlabAllocator(1 << 20)
+        loc, _ = slab.allocate(obj("a"))
+        freed = slab.free(loc)
+        assert freed.key == b"a"
+        assert loc not in slab
+        assert slab.get(loc) is None
+
+    def test_free_unknown_raises(self):
+        slab = SlabAllocator(1 << 20)
+        with pytest.raises(CapacityError):
+            slab.free(999)
+
+    def test_len_tracks_live_objects(self):
+        slab = SlabAllocator(1 << 20)
+        locs = [slab.allocate(obj(f"k{i}"))[0] for i in range(5)]
+        assert len(slab) == 5
+        slab.free(locs[0])
+        assert len(slab) == 4
+
+    def test_budget_claimed_in_pages(self):
+        slab = SlabAllocator(4 * SlabAllocator.PAGE_BYTES)
+        slab.allocate(obj("a"))
+        assert slab.claimed_bytes == SlabAllocator.PAGE_BYTES
+
+
+class TestEviction:
+    def make_tiny(self) -> SlabAllocator:
+        """Budget of exactly one page so the first class can never grow."""
+        return SlabAllocator(SlabAllocator.PAGE_BYTES)
+
+    def test_eviction_on_full_class(self):
+        slab = self.make_tiny()
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        evicted = []
+        for i in range(capacity + 10):
+            _, ev = slab.allocate(obj(f"key-{i:06d}"))
+            if ev is not None:
+                evicted.append(ev)
+        assert len(evicted) == 10
+        assert slab.stats.evictions == 10
+
+    def test_eviction_is_lru_order(self):
+        slab = self.make_tiny()
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        locs = {}
+        for i in range(capacity):
+            locs[i], _ = slab.allocate(obj(f"key-{i:06d}"))
+        # Touch object 0 so object 1 becomes the LRU victim.
+        slab.get(locs[0])
+        _, evicted = slab.allocate(obj("overflow-1"))
+        assert evicted is not None
+        assert evicted.key == b"key-000001"
+
+    def test_get_without_touch_keeps_lru(self):
+        slab = self.make_tiny()
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        locs = {}
+        for i in range(capacity):
+            locs[i], _ = slab.allocate(obj(f"key-{i:06d}"))
+        slab.get(locs[0], touch=False)  # peek, not a use
+        _, evicted = slab.allocate(obj("overflow-1"))
+        assert evicted.key == b"key-000000"
+
+    def test_eviction_location_reclaimed(self):
+        slab = self.make_tiny()
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        first_loc, _ = slab.allocate(obj("key-000000"))
+        for i in range(1, capacity + 1):
+            slab.allocate(obj(f"key-{i:06d}"))
+        assert first_loc not in slab
+
+    def test_oversized_object_without_chunks_raises(self):
+        slab = SlabAllocator(SlabAllocator.PAGE_BYTES)
+        # Exhaust the budget with small objects first.
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        for i in range(capacity):
+            slab.allocate(obj(f"key-{i:06d}"))
+        # A huge object's class has zero chunks and cannot grow.
+        with pytest.raises(CapacityError):
+            slab.allocate(KVObject(b"big", b"x" * 500_000))
+
+
+class TestClasses:
+    def test_distinct_classes_per_size(self):
+        slab = SlabAllocator(8 * SlabAllocator.PAGE_BYTES)
+        slab.allocate(obj("small", 8))
+        slab.allocate(obj("large", 1000))
+        assert len(slab.class_sizes()) == 2
+
+    def test_objects_lists_all_live(self):
+        slab = SlabAllocator(1 << 22)
+        for i in range(7):
+            slab.allocate(obj(f"k{i}", size=16 * (i + 1)))
+        assert len(slab.objects()) == 7
+
+    def test_eviction_rate_statistic(self):
+        slab = SlabAllocator(SlabAllocator.PAGE_BYTES)
+        capacity = SlabAllocator.PAGE_BYTES // slab.chunk_size_for(obj('key-000000').size_bytes)
+        for i in range(capacity * 2):
+            slab.allocate(obj(f"key-{i:06d}"))
+        assert 0.0 < slab.stats.eviction_rate < 1.0

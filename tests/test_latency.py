@@ -1,0 +1,54 @@
+"""Tests for the analytic latency-distribution helper."""
+
+import pytest
+
+from repro.analysis.latency import LatencyProfile, latency_profile
+from repro.core.cost_model import CostModel
+from repro.errors import ConfigurationError
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.megakv import megakv_coupled_config
+
+from conftest import profile_for
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    return CostModel(APU_A10_7850K).estimate(
+        megakv_coupled_config(), profile_for("K16-G95-S")
+    )
+
+
+class TestLatencyProfile:
+    def test_ordering(self, estimate):
+        lat = latency_profile(estimate)
+        assert lat.p50_us < lat.p95_us < lat.p99_us < lat.worst_us
+        assert lat.mean_us == lat.p50_us  # uniform distribution
+
+    def test_three_stage_bounds(self, estimate):
+        """3-stage pipeline: latency between 3 and 3.67 periods."""
+        lat = latency_profile(estimate)
+        assert lat.stages == 3
+        assert 3 * lat.period_us <= lat.p50_us <= 4 * lat.period_us
+        assert lat.worst_us == pytest.approx((3 + 2 / 3) * lat.period_us)
+
+    def test_within_budget(self, estimate):
+        """The scheduler keeps the average (p50) within the 1,000 us budget."""
+        lat = latency_profile(estimate)
+        assert lat.mean_us <= 1050.0
+
+    def test_percentile_function(self, estimate):
+        lat = latency_profile(estimate)
+        assert lat.percentile(50) == pytest.approx(lat.p50_us)
+        assert lat.percentile(0) == pytest.approx(lat.stages * lat.period_us)
+        assert lat.percentile(100) == pytest.approx(lat.worst_us)
+
+    def test_percentile_validation(self, estimate):
+        with pytest.raises(ConfigurationError):
+            latency_profile(estimate).percentile(101)
+
+    def test_tighter_budget_lowers_tail(self):
+        cm = CostModel(APU_A10_7850K)
+        profile = profile_for("K16-G95-S")
+        loose = latency_profile(cm.estimate(megakv_coupled_config(), profile, 1_000_000.0))
+        tight = latency_profile(cm.estimate(megakv_coupled_config(), profile, 600_000.0))
+        assert tight.p99_us < loose.p99_us

@@ -1,0 +1,94 @@
+"""Tests for the MemcachedGPU-style two-stage baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.megakv import measure_megakv
+from repro.pipeline.memcachedgpu import MemcachedGPUModel, measure_memcachedgpu
+
+from conftest import profile_for
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemcachedGPUModel(APU_A10_7850K)
+
+
+class TestMeasurement:
+    def test_basic_fields(self, model):
+        m = model.measure(profile_for("K16-G95-S"))
+        assert m.throughput_mops > 0
+        assert m.batch_size % 64 == 0
+        assert m.tmax_us == max(m.gpu_stage_us, m.cpu_stage_us)
+        assert 0 < m.gpu_utilization <= 1.0
+        assert 0 < m.cpu_utilization <= 1.0
+
+    def test_two_stage_interval_larger_than_three_stage(self, model):
+        """A two-stage pipeline gets a longer per-stage interval from the
+        same latency budget, hence larger batches than Mega-KV's 300 us."""
+        m = model.measure(profile_for("K16-G95-S"), latency_budget_ns=1_000_000.0)
+        assert m.tmax_us <= 1000.0 / 2.33 + 1.0
+
+    def test_deterministic(self, model):
+        a = model.measure(profile_for("K32-G95-S"))
+        b = model.measure(profile_for("K32-G95-S"))
+        assert a.throughput_mops == b.throughput_mops
+
+    def test_rejects_bad_budget(self, model):
+        with pytest.raises(ConfigurationError):
+            model.measure(profile_for("K8-G95-U"), latency_budget_ns=0)
+
+    def test_wrapper(self):
+        m = measure_memcachedgpu(APU_A10_7850K, profile_for("K8-G95-U"))
+        assert m.throughput_mops > 0
+
+
+class TestDesignSpace:
+    """Paper Figure 2 framing: both static splits exist; neither dominates
+    the adaptive system."""
+
+    def test_static_designs_comparable(self):
+        """On the APU, the two static designs are within an order of
+        magnitude of each other (both are plausible designs)."""
+        for label in ("K8-G95-U", "K128-G95-S"):
+            profile = profile_for(label)
+            mega = measure_megakv(APU_A10_7850K, profile).throughput_mops
+            mcg = measure_memcachedgpu(APU_A10_7850K, profile).throughput_mops
+            assert 0.1 < mcg / mega < 10.0
+
+    def test_dido_beats_memcachedgpu_style(self):
+        """DIDO's adaptive pipeline outperforms the MemcachedGPU-style
+        static split as well (it can *choose* a better split per workload)."""
+        from repro.core.config_search import ConfigurationSearch
+        from repro.core.cost_model import CostModel
+        from repro.pipeline.executor import PipelineExecutor
+
+        executor = PipelineExecutor(APU_A10_7850K)
+        planner = ConfigurationSearch(CostModel(APU_A10_7850K))
+        wins = 0
+        for label in ("K8-G95-U", "K16-G95-S", "K128-G50-U"):
+            profile = profile_for(label)
+            best = planner.best(profile).config
+            dido = executor.measure(best, profile).throughput_mops
+            mcg = measure_memcachedgpu(APU_A10_7850K, profile).throughput_mops
+            if dido > mcg:
+                wins += 1
+        assert wins >= 2
+
+    def test_gpu_heavier_than_megakv_gpu_stage(self):
+        """MemcachedGPU puts packet processing on the GPU too, so its GPU
+        stage carries more work per query than Mega-KV's [IN] stage."""
+        profile = profile_for("K8-G95-U")
+        model = MemcachedGPUModel(APU_A10_7850K)
+        batch = 8192
+        mcg_gpu_ns = model._gpu_stage_ns(profile, batch)
+        from repro.pipeline.executor import PipelineExecutor
+        from repro.pipeline.megakv import megakv_coupled_config
+
+        ex = PipelineExecutor(APU_A10_7850K)
+        stage_times, _, _, _ = ex.evaluate_batch(
+            megakv_coupled_config(), profile, batch
+        )
+        mega_gpu_ns = stage_times[1].time_ns
+        assert mcg_gpu_ns > mega_gpu_ns

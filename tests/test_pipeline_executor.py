@@ -1,0 +1,118 @@
+"""Unit tests for the detailed pipeline simulator (executor)."""
+
+import pytest
+
+from repro.core.pipeline_config import PipelineConfig
+from repro.core.profiler import WorkloadProfile
+from repro.core.tasks import IndexOp, Task
+from repro.errors import SimulationError
+from repro.hardware.specs import APU_A10_7850K
+from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.megakv import megakv_coupled_config
+
+from conftest import profile_for
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return PipelineExecutor(APU_A10_7850K)
+
+
+class TestMeasure:
+    def test_measurement_fields(self, ex):
+        m = ex.measure(megakv_coupled_config(), profile_for("K16-G95-S"))
+        assert m.throughput_mops > 0
+        assert m.batch_size % 64 == 0
+        assert m.tmax_us <= 301.0
+        assert len(m.stages()) == 3
+        assert all(s.time_us >= 0 for s in m.stages())
+
+    def test_index_op_times_us(self, ex):
+        m = ex.measure(megakv_coupled_config(), profile_for("K8-G95-S"))
+        times = m.index_op_times_us
+        assert times[IndexOp.SEARCH] > times[IndexOp.DELETE] > 0
+
+    def test_utilizations_bounded(self, ex):
+        for label in ("K8-G95-S", "K128-G50-U"):
+            m = ex.measure(megakv_coupled_config(), profile_for(label))
+            assert 0.0 < m.cpu_utilization <= 1.0
+            assert 0.0 < m.gpu_utilization <= 1.0
+
+    def test_deterministic(self, ex):
+        a = ex.measure(megakv_coupled_config(), profile_for("K32-G95-S"))
+        b = ex.measure(megakv_coupled_config(), profile_for("K32-G95-S"))
+        assert a.throughput_mops == b.throughput_mops
+
+
+class TestPaperShapes:
+    """The motivational findings of the paper's Section II-C, measured on
+    the Mega-KV static pipeline."""
+
+    def test_fig4_rsv_binds(self, ex):
+        """Read & Send Value is the bottleneck stage for all datasets."""
+        from repro.pipeline.megakv import megakv_executor
+
+        mkex = megakv_executor(APU_A10_7850K)
+        for name in ("K8", "K16", "K32", "K128"):
+            m = mkex.measure(megakv_coupled_config(), profile_for(f"{name}-G95-S"))
+            times = m.estimate.stage_times_us
+            assert times[2] == max(times), name
+
+    def test_fig4_index_time_decreases_with_kv_size(self, ex):
+        from repro.pipeline.megakv import megakv_executor
+
+        mkex = megakv_executor(APU_A10_7850K)
+        in_times = []
+        for name in ("K8", "K16", "K32", "K128"):
+            m = mkex.measure(megakv_coupled_config(), profile_for(f"{name}-G95-S"))
+            in_times.append(m.estimate.stage_times_us[1])
+        assert in_times == sorted(in_times, reverse=True)
+
+    def test_fig5_gpu_underutilized_and_decreasing(self, ex):
+        from repro.pipeline.megakv import megakv_executor
+
+        mkex = megakv_executor(APU_A10_7850K)
+        utils = []
+        for name in ("K8", "K16", "K32", "K128"):
+            m = mkex.measure(megakv_coupled_config(), profile_for(f"{name}-G95-S"))
+            utils.append(m.gpu_utilization)
+        assert utils == sorted(utils, reverse=True)
+        assert utils[-1] < 0.55  # severely underutilised for large KV
+
+
+class TestTimeline:
+    def test_static_schedule_throughput_matches_steady_state(self, ex):
+        config = megakv_coupled_config()
+        profile = profile_for("K16-G95-S")
+        steady = ex.measure(config, profile).throughput_mops
+
+        points = ex.run_timeline(lambda now: (config, profile), duration_ns=3e6)
+        mid = [p.throughput_mops for p in points[1:-1]]
+        assert sum(mid) / len(mid) == pytest.approx(steady, rel=0.1)
+
+    def test_samples_cover_duration(self, ex):
+        config = megakv_coupled_config()
+        profile = profile_for("K16-G95-S")
+        points = ex.run_timeline(
+            lambda now: (config, profile), duration_ns=3e6, sample_every_ns=3e5
+        )
+        assert len(points) >= 9
+        assert points[0].time_ns == 0.0
+
+    def test_schedule_switch_changes_config_label(self, ex):
+        fast = megakv_coupled_config()
+        slow = PipelineConfig.assemble(
+            (Task.IN, Task.KC, Task.RD), total_cpu_cores=4
+        )
+
+        def schedule(now):
+            cfg = fast if now < 1.5e6 else slow
+            return cfg, profile_for("K16-G95-S")
+
+        points = ex.run_timeline(schedule, duration_ns=3e6)
+        labels = {p.config_label for p in points}
+        assert len(labels) == 2
+
+    def test_rejects_nonpositive_duration(self, ex):
+        with pytest.raises(SimulationError):
+            ex.run_timeline(lambda now: (megakv_coupled_config(), profile_for("K8-G95-U")), 0.0)

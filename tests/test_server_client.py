@@ -1,0 +1,145 @@
+"""End-to-end tests over real localhost UDP sockets."""
+
+import pytest
+
+from repro.client import DidoClient, TimeoutError_
+from repro.core.dido import DidoSystem
+from repro.errors import ConfigurationError
+from repro.kv.protocol import Query, QueryType, ResponseStatus
+from repro.server import DidoUDPServer, _chunk_responses
+from repro.kv.protocol import Response
+
+
+@pytest.fixture
+def server():
+    system = DidoSystem(memory_bytes=16 << 20, expected_objects=8192)
+    srv = DidoUDPServer(("127.0.0.1", 0), system=system, batch_window_s=0.001)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    with DidoClient(server.address, timeout_s=5.0) as c:
+        yield c
+
+
+class TestRoundTrips:
+    def test_set_get_delete(self, client):
+        assert client.set(b"greeting", b"hello")
+        assert client.get(b"greeting") == b"hello"
+        assert client.delete(b"greeting")
+        assert client.get(b"greeting") is None
+
+    def test_get_missing(self, client):
+        assert client.get(b"never-set") is None
+
+    def test_delete_missing(self, client):
+        assert not client.delete(b"never-set")
+
+    def test_overwrite(self, client):
+        client.set(b"k", b"v1")
+        client.set(b"k", b"v2")
+        assert client.get(b"k") == b"v2"
+
+    def test_binary_values(self, client):
+        value = bytes(range(256)) * 4
+        client.set(b"bin", value)
+        assert client.get(b"bin") == value
+
+    def test_batch_order_preserved(self, client):
+        sets = [Query(QueryType.SET, f"k{i}".encode(), f"v{i}".encode()) for i in range(50)]
+        responses = client.execute(sets)
+        assert all(r.status is ResponseStatus.STORED for r in responses)
+        gets = [Query(QueryType.GET, f"k{i}".encode()) for i in range(50)]
+        values = [r.value for r in client.execute(gets)]
+        assert values == [f"v{i}".encode() for i in range(50)]
+
+    def test_mget(self, client):
+        client.set(b"a", b"1")
+        client.set(b"b", b"2")
+        out = client.mget([b"a", b"missing", b"b"])
+        assert out == {b"a": b"1", b"b": b"2"}
+
+    def test_large_batch_multiple_datagrams_back(self, client):
+        value = b"x" * 900
+        sets = [Query(QueryType.SET, f"big{i}".encode(), value) for i in range(100)]
+        client.execute(sets)
+        gets = [Query(QueryType.GET, f"big{i}".encode()) for i in range(100)]
+        responses = client.execute(gets)
+        assert len(responses) == 100
+        assert all(r.value == value for r in responses)
+
+    def test_server_stats_progress(self, server, client):
+        client.set(b"k", b"v")
+        assert server.stats.datagrams_in >= 1
+        assert server.stats.queries >= 1
+        assert server.stats.batches >= 1
+
+    def test_adaptive_pipeline_behind_server(self, server, client):
+        """The server-side system really plans pipelines."""
+        for i in range(300):
+            client.set(f"warm{i}".encode(), b"v" * 32)
+        report = server.system.report()
+        assert report.replans >= 1
+        assert "CPU" in report.current_pipeline
+
+
+class TestServerLifecycle:
+    def test_double_start_rejected(self, server):
+        with pytest.raises(ConfigurationError):
+            server.start()
+
+    def test_stop_idempotent(self):
+        srv = DidoUDPServer(("127.0.0.1", 0))
+        srv.start()
+        srv.stop()
+        srv.stop()
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DidoUDPServer(("127.0.0.1", 0), batch_window_s=-1.0)
+
+    def test_malformed_datagram_counted_not_fatal(self, server, client):
+        import socket as socketlib
+
+        s = socketlib.socket(socketlib.AF_INET, socketlib.SOCK_DGRAM)
+        s.sendto(b"\xff\xff\xff", server.address)
+        s.close()
+        # The server keeps working afterwards.
+        assert client.set(b"still-alive", b"yes")
+        assert server.stats.protocol_errors >= 1
+
+
+class TestClientValidation:
+    def test_timeout_positive(self):
+        with pytest.raises(ConfigurationError):
+            DidoClient(("127.0.0.1", 1), timeout_s=0)
+
+    def test_timeout_raised_when_no_server(self):
+        with DidoClient(("127.0.0.1", 9), timeout_s=0.2) as c:
+            with pytest.raises(TimeoutError_):
+                c.get(b"k")
+        assert c.stats.timeouts == 1
+
+    def test_empty_batch(self, client):
+        assert client.execute([]) == []
+
+
+class TestChunking:
+    def test_chunk_responses_respects_bound(self):
+        responses = [Response(ResponseStatus.OK, b"v" * 5000) for _ in range(20)]
+        chunks = _chunk_responses(responses)
+        assert sum(len(c) for c in chunks) == 20
+        from repro.server import MAX_RESPONSE_PAYLOAD
+
+        for chunk in chunks:
+            if len(chunk) > 1:
+                assert sum(r.wire_size for r in chunk) <= MAX_RESPONSE_PAYLOAD
+
+    def test_chunk_preserves_order(self):
+        responses = [Response(ResponseStatus.OK, str(i).encode()) for i in range(100)]
+        chunks = _chunk_responses(responses)
+        flat = [r for c in chunks for r in c]
+        assert [r.value for r in flat] == [str(i).encode() for i in range(100)]

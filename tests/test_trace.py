@@ -1,0 +1,120 @@
+"""Tests for trace recording, replay, and summarisation."""
+
+import pytest
+
+from repro.core.dido import DidoSystem
+from repro.errors import ProtocolError, WorkloadError
+from repro.kv.protocol import Query, QueryType
+from repro.workloads.trace import (
+    iter_trace,
+    read_trace,
+    replay_trace,
+    summarize_trace,
+    write_trace,
+)
+from repro.workloads.ycsb import QueryStream, standard_workload
+
+
+def sample_queries(n=500, label="K16-G95-S", seed=4):
+    return QueryStream(standard_workload(label), num_keys=300, seed=seed).next_batch(n)
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        queries = sample_queries()
+        path = tmp_path / "trace.bin"
+        assert write_trace(path, queries) == len(queries)
+        loaded = read_trace(path)
+        assert [(q.qtype, q.key, q.value) for q in loaded] == [
+            (q.qtype, q.key, q.value) for q in queries
+        ]
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_trace(path, [])
+        assert read_trace(path) == []
+
+    def test_iter_batches(self, tmp_path):
+        queries = sample_queries(1000)
+        path = tmp_path / "trace.bin"
+        write_trace(path, queries)
+        batches = list(iter_trace(path, batch_size=256))
+        assert [len(b) for b in batches] == [256, 256, 256, 232]
+        flat = [q.key for b in batches for q in b]
+        assert flat == [q.key for q in queries]
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTATRACE" * 4)
+        with pytest.raises(ProtocolError):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"DI")
+        with pytest.raises(ProtocolError):
+            read_trace(path)
+
+    def test_count_mismatch(self, tmp_path):
+        import struct
+
+        path = tmp_path / "lying.bin"
+        path.write_bytes(struct.pack("<8sQ", b"DIDOTRC1", 99))
+        with pytest.raises(ProtocolError):
+            read_trace(path)
+
+    def test_bad_batch_size(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_trace(path, sample_queries(10))
+        with pytest.raises(WorkloadError):
+            list(iter_trace(path, batch_size=0))
+
+
+class TestSummary:
+    def test_matches_generator_parameters(self):
+        queries = sample_queries(5000)
+        summary = summarize_trace(queries)
+        assert summary.queries == 5000
+        assert summary.get_ratio == pytest.approx(0.95, abs=0.02)
+        assert summary.avg_key_size == 16.0
+        assert summary.avg_value_size == 64.0
+        assert 0 < summary.distinct_keys <= 300
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            summarize_trace([])
+
+    def test_set_only(self):
+        queries = [Query(QueryType.SET, b"k", b"v" * 10)]
+        summary = summarize_trace(queries)
+        assert summary.get_ratio == 0.0
+        assert summary.avg_value_size == 10.0
+
+
+class TestReplay:
+    def test_replay_drives_system(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace(path, sample_queries(900))
+        system = DidoSystem(memory_bytes=8 << 20, expected_objects=4096)
+        processed = replay_trace(path, system, batch_size=300)
+        assert processed == 900
+        report = system.report()
+        assert report.batches == 3
+        assert report.replans >= 1
+
+    def test_replay_is_faithful(self, tmp_path):
+        """Replaying a trace yields the same responses as the live stream."""
+        queries = sample_queries(600, seed=9)
+        path = tmp_path / "trace.bin"
+        write_trace(path, queries)
+        live = DidoSystem(memory_bytes=8 << 20, expected_objects=4096)
+        live_out = [
+            (r.status, r.value) for r in live.process(queries).responses
+        ]
+        replayed = DidoSystem(memory_bytes=8 << 20, expected_objects=4096)
+        replay_out = []
+        for batch in iter_trace(path, batch_size=600):
+            replay_out.extend(
+                (r.status, r.value) for r in replayed.process(batch).responses
+            )
+        assert replay_out == live_out

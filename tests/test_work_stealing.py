@@ -1,0 +1,122 @@
+"""Unit tests for the tag array and the Equation-3 stealing estimate."""
+
+import threading
+
+import pytest
+
+from repro.core.work_stealing import WAVEFRONT, StealOutcome, TagArray, plan_steal
+from repro.errors import ConfigurationError
+
+
+class TestTagArray:
+    def test_tag_count(self):
+        assert TagArray(640).num_tags == 10
+        assert TagArray(641).num_tags == 11
+        assert TagArray(1).num_tags == 1
+
+    def test_claims_cover_batch_exactly_once(self):
+        tags = TagArray(1000)
+        seen = []
+        while (claimed := tags.claim_next("owner")) is not None:
+            seen.extend(claimed)
+        assert sorted(seen) == list(range(1000))
+
+    def test_forward_and_reverse_meet_in_middle(self):
+        tags = TagArray(64 * 10)
+        owner_chunks, helper_chunks = [], []
+        for turn in range(10):
+            if turn % 2 == 0:
+                owner_chunks.append(tags.claim_next("gpu"))
+            else:
+                helper_chunks.append(tags.claim_next("cpu", reverse=True))
+        assert tags.all_claimed()
+        covered = sorted(i for r in owner_chunks + helper_chunks for i in r)
+        assert covered == list(range(640))
+
+    def test_owner_accounting(self):
+        tags = TagArray(64 * 4)
+        tags.claim_next("gpu")
+        tags.claim_next("cpu", reverse=True)
+        tags.claim_next("gpu")
+        assert tags.claims_by("gpu") == 2
+        assert tags.claims_by("cpu") == 1
+
+    def test_last_chunk_partial(self):
+        tags = TagArray(100, chunk=64)
+        first = tags.claim_next("a")
+        second = tags.claim_next("a")
+        assert len(first) == 64
+        assert len(second) == 36
+        assert tags.claim_next("a") is None
+
+    def test_coverage(self):
+        tags = TagArray(100, chunk=64)
+        tags.claim_next("a")
+        assert tags.coverage() == 64
+
+    def test_thread_safety(self):
+        """Two racing claimants never claim the same chunk."""
+        tags = TagArray(64 * 200)
+        claimed: dict[str, list[range]] = {"a": [], "b": []}
+
+        def worker(name, reverse):
+            while (r := tags.claim_next(name, reverse=reverse)) is not None:
+                claimed[name].append(r)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", False)),
+            threading.Thread(target=worker, args=("b", True)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        indices = sorted(i for rs in claimed.values() for r in rs for i in r)
+        assert indices == list(range(64 * 200))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TagArray(0)
+        with pytest.raises(ConfigurationError):
+            TagArray(10, chunk=0)
+
+    def test_default_chunk_is_wavefront(self):
+        assert TagArray(256).chunk == WAVEFRONT == 64
+
+
+class TestPlanSteal:
+    def test_no_steal_when_helper_busy(self):
+        outcome = plan_steal(t_owner_work=100.0, t_helper_own=120.0, t_helper_work=50.0)
+        assert outcome.finish_ns == 100.0
+        assert outcome.stolen_fraction == 0.0
+
+    def test_paper_equation_form(self):
+        """T = T_B + T^CPU_A (T^GPU_A - T_B) / (T^CPU_A + T^GPU_A)."""
+        t_gpu_a, t_b, t_cpu_a = 300.0, 100.0, 200.0
+        outcome = plan_steal(t_gpu_a, t_b, t_cpu_a)
+        expected = t_b + t_cpu_a * (t_gpu_a - t_b) / (t_cpu_a + t_gpu_a)
+        assert outcome.finish_ns == pytest.approx(expected)
+
+    def test_finish_between_helper_own_and_owner(self):
+        outcome = plan_steal(300.0, 100.0, 200.0)
+        assert 100.0 < outcome.finish_ns < 300.0
+
+    def test_fast_helper_steals_more(self):
+        slow = plan_steal(300.0, 100.0, 600.0)
+        fast = plan_steal(300.0, 100.0, 150.0)
+        assert fast.stolen_fraction > slow.stolen_fraction
+        assert fast.finish_ns < slow.finish_ns
+
+    def test_idle_helper_from_zero(self):
+        outcome = plan_steal(300.0, 0.0, 300.0)
+        # Equal speeds, helper free the whole time: work splits in half.
+        assert outcome.finish_ns == pytest.approx(150.0)
+        assert outcome.stolen_fraction == pytest.approx(0.5)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_steal(-1.0, 0.0, 1.0)
+
+    def test_zero_helper_work_time(self):
+        outcome = plan_steal(100.0, 10.0, 0.0)
+        assert outcome.stolen_fraction == 0.0

@@ -1,0 +1,236 @@
+"""Unit tests for workload generators: datasets, distributions, YCSB,
+Facebook approximations, and alternating dynamic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kv.protocol import QueryType
+from repro.workloads.datasets import DATASETS, K8, K16, K32, K128, Dataset, dataset_by_name
+from repro.workloads.distributions import UniformKeys, ZipfKeys, make_distribution
+from repro.workloads.dynamic import AlternatingWorkload
+from repro.workloads.facebook import FACEBOOK_ETC, FACEBOOK_USR, FacebookQueryStream
+from repro.workloads.ycsb import (
+    STANDARD_WORKLOADS,
+    QueryStream,
+    WorkloadSpec,
+    standard_workload,
+)
+
+
+class TestDatasets:
+    def test_paper_sizes(self):
+        assert (K8.key_size, K8.value_size) == (8, 8)
+        assert (K16.key_size, K16.value_size) == (16, 64)
+        assert (K32.key_size, K32.value_size) == (32, 256)
+        assert (K128.key_size, K128.value_size) == (128, 1024)
+
+    def test_keys_distinct_and_sized(self):
+        for dataset in DATASETS:
+            keys = {dataset.key_for_rank(r) for r in range(100)}
+            assert len(keys) == 100
+            assert all(len(k) == dataset.key_size for k in keys)
+
+    def test_values_deterministic(self):
+        assert K32.value_for_rank(5) == K32.value_for_rank(5)
+        assert len(K32.value_for_rank(5)) == 256
+
+    def test_num_objects(self):
+        n = K8.num_objects(1 << 20, overhead_bytes=40)
+        assert n == (1 << 20) // (16 + 40)
+
+    def test_lookup(self):
+        assert dataset_by_name("k16") is K16
+        with pytest.raises(WorkloadError):
+            dataset_by_name("K64")
+
+    def test_min_key_size(self):
+        with pytest.raises(WorkloadError):
+            Dataset("bad", key_size=4, value_size=8)
+
+
+class TestUniform:
+    def test_range(self):
+        dist = UniformKeys(1000, seed=1)
+        ranks = dist.sample(10_000)
+        assert ranks.min() >= 0 and ranks.max() < 1000
+
+    def test_roughly_flat(self):
+        dist = UniformKeys(10, seed=2)
+        ranks = dist.sample(100_000)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_skewness_zero(self):
+        assert UniformKeys(100).skewness == 0.0
+
+    def test_top_fraction_linear(self):
+        dist = UniformKeys(1000)
+        assert dist.top_fraction(100) == pytest.approx(0.1)
+        assert dist.top_fraction(2000) == 1.0
+
+
+class TestZipf:
+    def test_seeded_determinism(self):
+        a = ZipfKeys(10_000, seed=3).sample(1000)
+        b = ZipfKeys(10_000, seed=3).sample(1000)
+        assert np.array_equal(a, b)
+
+    def test_range(self):
+        ranks = ZipfKeys(5000, seed=4).sample(50_000)
+        assert ranks.min() >= 0 and ranks.max() < 5000
+
+    def test_head_dominates(self):
+        dist = ZipfKeys(100_000, skew=0.99, seed=5)
+        ranks = dist.sample(100_000)
+        top100 = np.mean(ranks < 100)
+        assert top100 > 0.3  # far more than the uniform 0.1 %
+
+    def test_empirical_matches_analytic_top_fraction(self):
+        dist = ZipfKeys(100_000, skew=0.99, seed=6)
+        ranks = dist.sample(200_000)
+        for k in (10, 1000, 10_000):
+            empirical = float(np.mean(ranks < k))
+            assert empirical == pytest.approx(dist.top_fraction(k), abs=0.05)
+
+    def test_top_fraction_monotone(self):
+        dist = ZipfKeys(50_000, skew=0.99)
+        fractions = [dist.top_fraction(k) for k in (1, 10, 100, 1000, 50_000)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_higher_skew_more_concentrated(self):
+        mild = ZipfKeys(10_000, skew=0.5).top_fraction(100)
+        strong = ZipfKeys(10_000, skew=1.2).top_fraction(100)
+        assert strong > mild
+
+    def test_rejects_zero_skew(self):
+        with pytest.raises(WorkloadError):
+            ZipfKeys(100, skew=0.0)
+
+    def test_factory(self):
+        assert isinstance(make_distribution(10, 0.0), UniformKeys)
+        assert isinstance(make_distribution(10, 0.99), ZipfKeys)
+
+    def test_small_keyspace(self):
+        dist = ZipfKeys(5, skew=0.99, seed=7)
+        ranks = dist.sample(1000)
+        assert set(ranks.tolist()) <= {0, 1, 2, 3, 4}
+
+
+class TestWorkloadSpec:
+    def test_label_round_trip(self):
+        for spec in STANDARD_WORKLOADS:
+            assert standard_workload(spec.label) == spec
+
+    def test_24_standard_workloads(self):
+        assert len(STANDARD_WORKLOADS) == 24
+        assert len({s.label for s in STANDARD_WORKLOADS}) == 24
+
+    def test_parse_variants(self):
+        spec = standard_workload("k32-g50-s")
+        assert spec.dataset is K32
+        assert spec.get_ratio == pytest.approx(0.5)
+        assert spec.skewed
+
+    def test_malformed_labels(self):
+        for bad in ("K8", "K8-G95", "K8-X95-U", "K9-G95-U", "K8-G95-Z"):
+            with pytest.raises(WorkloadError):
+                standard_workload(bad)
+
+    def test_ratio_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(K8, get_ratio=1.2, zipf_skew=0.0)
+
+
+class TestQueryStream:
+    def test_get_set_mix(self):
+        stream = QueryStream(standard_workload("K16-G95-U"), num_keys=5000, seed=8)
+        batch = stream.next_batch(20_000)
+        gets = sum(1 for q in batch if q.qtype is QueryType.GET)
+        assert gets / len(batch) == pytest.approx(0.95, abs=0.01)
+
+    def test_sets_carry_dataset_values(self):
+        stream = QueryStream(standard_workload("K16-G50-U"), num_keys=100, seed=9)
+        for q in stream.next_batch(200):
+            if q.qtype is QueryType.SET:
+                assert len(q.value) == 64
+            assert len(q.key) == 16
+
+    def test_deterministic(self):
+        s1 = QueryStream(standard_workload("K8-G95-S"), 1000, seed=10)
+        s2 = QueryStream(standard_workload("K8-G95-S"), 1000, seed=10)
+        b1, b2 = s1.next_batch(100), s2.next_batch(100)
+        assert [(q.qtype, q.key) for q in b1] == [(q.qtype, q.key) for q in b2]
+
+    def test_populate_items(self):
+        stream = QueryStream(standard_workload("K8-G95-U"), num_keys=50, seed=11)
+        items = stream.populate_items()
+        assert len(items) == 50
+        assert len({k for k, _ in items}) == 50
+
+    def test_empty_batch(self):
+        stream = QueryStream(standard_workload("K8-G95-U"), num_keys=10)
+        assert stream.next_batch(0) == []
+
+
+class TestFacebook:
+    def test_usr_tiny_values(self):
+        stream = FacebookQueryStream(FACEBOOK_USR, num_keys=1000, seed=12)
+        for q in stream.next_batch(500):
+            if q.qtype is QueryType.SET:
+                assert len(q.value) == 2
+
+    def test_etc_value_spread(self):
+        stream = FacebookQueryStream(FACEBOOK_ETC, num_keys=5000, seed=13)
+        sizes = {len(q.value) for q in stream.next_batch(5000) if q.qtype is QueryType.SET}
+        assert len(sizes) >= 3  # a genuine mixture
+
+    def test_per_rank_size_stable(self):
+        stream = FacebookQueryStream(FACEBOOK_ETC, num_keys=100, seed=14)
+        sizes = {}
+        for q in stream.next_batch(5000):
+            if q.qtype is QueryType.SET:
+                sizes.setdefault(q.key, set()).add(len(q.value))
+        assert all(len(s) == 1 for s in sizes.values())
+
+    def test_mean_value_size(self):
+        assert FACEBOOK_USR.mean_value_size == pytest.approx(2.0)
+        assert FACEBOOK_ETC.mean_value_size > 500
+
+    def test_average_sizes(self):
+        stream = FacebookQueryStream(FACEBOOK_ETC, num_keys=5000, seed=15)
+        key_size, value_size = stream.average_sizes()
+        assert key_size == 16.0
+        assert 64 <= value_size <= 8192
+
+
+class TestAlternating:
+    def make(self, cycle_ns=6e6):
+        return AlternatingWorkload(
+            standard_workload("K8-G50-U"),
+            standard_workload("K16-G95-S"),
+            cycle_ns=cycle_ns,
+            num_keys=1000,
+        )
+
+    def test_phase_halves(self):
+        w = self.make()
+        assert w.spec_at(0.0).label == "K8-G50-U"
+        assert w.spec_at(3.1e6).label == "K16-G95-S"
+        assert w.spec_at(6.1e6).label == "K8-G50-U"
+
+    def test_batches_match_phase(self):
+        w = self.make()
+        batch_a = w.next_batch(0.0, 100)
+        assert all(len(q.key) == 8 for q in batch_a)
+        batch_b = w.next_batch(4e6, 100)
+        assert all(len(q.key) == 16 for q in batch_b)
+
+    def test_switch_times(self):
+        w = self.make(cycle_ns=2e6)
+        assert w.switch_times(5e6) == [1e6, 2e6, 3e6, 4e6]
+
+    def test_rejects_bad_cycle(self):
+        with pytest.raises(WorkloadError):
+            self.make(cycle_ns=0)
