@@ -7,8 +7,15 @@ adaptation event the controller records: what changed, what pipeline was
 chosen, and what the cost model expected from it.  This is the paper's
 Figure 20 scenario driven through the *functional* store.
 
-Run:  python examples/adaptive_pipeline.py
+Run:  python examples/adaptive_pipeline.py [--telemetry-out trace.jsonl]
+
+With ``--telemetry-out`` the run also records the full telemetry trace —
+per-task stage spans, the replan audit trail, steal claims, and profiler
+gauges — and writes it as JSONL for offline analysis.
 """
+
+import argparse
+import sys
 
 from repro import DidoSystem, QueryStream, standard_workload
 
@@ -22,6 +29,16 @@ PHASES = [
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace"
+    )
+    args = parser.parse_args()
+    if args.telemetry_out:
+        from repro.telemetry import configure
+
+        configure(enabled=True)
+
     system = DidoSystem(memory_bytes=96 << 20, expected_objects=60_000)
 
     for description, label, batches in PHASES:
@@ -51,6 +68,15 @@ def main() -> None:
         f"{changed} of {len(system.controller.events)} re-plans actually changed "
         f"the pipeline; steady phases planned nothing at all."
     )
+
+    if args.telemetry_out:
+        from repro.telemetry import export_jsonl, get_telemetry
+
+        records = export_jsonl(get_telemetry(), args.telemetry_out)
+        print(
+            f"telemetry: wrote {records} records to {args.telemetry_out}",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

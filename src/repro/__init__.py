@@ -40,6 +40,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SimulationError,
+    TelemetryError,
     WorkloadError,
 )
 from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV, PlatformSpec
@@ -51,6 +52,14 @@ from repro.pipeline.megakv import megakv_coupled_config, megakv_discrete_config
 from repro.pipeline.memcachedgpu import measure_memcachedgpu
 from repro.server import DidoUDPServer
 from repro.pipeline.partition import PipelineConfig, StageSpec
+from repro.telemetry import (
+    EventLog,
+    MetricsRegistry,
+    Telemetry,
+    TraceEvent,
+    configure as configure_telemetry,
+    get_telemetry,
+)
 from repro.workloads.trace import read_trace, replay_trace, summarize_trace, write_trace
 from repro.workloads.ycsb import (
     STANDARD_WORKLOADS,
@@ -97,10 +106,17 @@ __all__ = [
     "Response",
     "ResponseStatus",
     "STANDARD_WORKLOADS",
+    "EventLog",
+    "MetricsRegistry",
     "SimulationError",
     "StageSpec",
     "SystemReport",
     "Task",
+    "Telemetry",
+    "TelemetryError",
+    "TraceEvent",
+    "configure_telemetry",
+    "get_telemetry",
     "WorkloadError",
     "WorkloadProfile",
     "WorkloadProfiler",

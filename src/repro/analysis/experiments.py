@@ -12,19 +12,18 @@ generators are seeded).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.metrics import (
     energy_efficiency_kops_per_watt,
     error_rate,
     price_performance_kops_per_usd,
-    speedup,
 )
 from repro.core.config_search import ConfigurationSearch, enumerate_configs
 from repro.core.controller import AdaptationController
 from repro.core.cost_model import CostModel, PipelineEstimate
 from repro.core.profiler import WorkloadProfile
-from repro.core.tasks import IndexOp, Task
+from repro.core.tasks import IndexOp
 from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV, PlatformSpec
 from repro.pipeline.executor import PipelineExecutor
 from repro.pipeline.megakv import (
@@ -149,7 +148,6 @@ def fig06_index_op_shares(harness: Harness | None = None) -> list[IndexOpShareRo
     of operations, they consume 35-56 % of GPU execution time.
     """
     h = harness or Harness()
-    from repro.core.tasks import TaskModel
     from repro.hardware.processor import gpu_task_time_ns
 
     model = h.executor.task_model

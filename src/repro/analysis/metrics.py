@@ -26,6 +26,8 @@ def error_rate(measured: float, estimated: float) -> float:
     ``(T_DIDO - T_Model) / T_DIDO`` where both are throughputs."""
     if measured <= 0:
         raise ConfigurationError("measured throughput must be positive")
+    if estimated <= 0:
+        raise ConfigurationError("estimated throughput must be positive")
     return (measured - estimated) / measured
 
 

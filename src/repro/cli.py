@@ -14,12 +14,20 @@ Commands
     Run a real UDP key-value server backed by an adaptive DIDO system.
 ``workloads``
     List the 24 standard paper workloads.
+``telemetry [--export jsonl|prom|summary]``
+    Run a dynamic-workload simulation with telemetry enabled and export
+    the collected trace/metrics.
+
+``measure``, ``figures``, and ``serve`` also accept ``--telemetry-out
+PATH``: telemetry is enabled for the run and a JSONL trace is written to
+``PATH`` on exit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.analysis.reporting import Table
 from repro.core.config_search import ConfigurationSearch
@@ -37,6 +45,22 @@ _QUICK_FIGURES = ("fig04", "fig05", "fig06", "fig11", "fig12")
 
 def _profile(label: str) -> WorkloadProfile:
     return WorkloadProfile.from_spec(standard_workload(label))
+
+
+@contextmanager
+def _telemetry_to(path: str | None):
+    """Enable telemetry for the wrapped command and export JSONL on exit."""
+    if not path:
+        yield
+        return
+    from repro.telemetry import configure, export_jsonl, get_telemetry
+
+    configure(enabled=True)
+    try:
+        yield
+    finally:
+        records = export_jsonl(get_telemetry(), path)
+        print(f"telemetry: wrote {records} records to {path}", file=sys.stderr)
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -207,6 +231,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Workload phases the ``telemetry`` demo cycles through — the same shifts
+#: as ``examples/adaptive_pipeline.py``, guaranteed to trigger re-planning.
+_TELEMETRY_PHASES = ("K8-G95-S", "K128-G95-S", "K8-G50-U")
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Drive a dynamic workload through a live system and export telemetry."""
+    from repro.core.dido import DidoSystem
+    from repro.telemetry import (
+        configure,
+        console_summary,
+        export_jsonl,
+        get_telemetry,
+        prometheus_text,
+    )
+    from repro.workloads.ycsb import QueryStream
+
+    telemetry = configure(enabled=True)
+    system = DidoSystem(memory_bytes=64 << 20, expected_objects=40_000)
+    for label in _TELEMETRY_PHASES:
+        stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
+        for _ in range(args.batches):
+            system.process(stream.next_batch(args.batch_size))
+    if args.export == "jsonl":
+        if args.out:
+            records = export_jsonl(telemetry, args.out)
+            print(f"wrote {records} records to {args.out}", file=sys.stderr)
+        else:
+            export_jsonl(telemetry, sys.stdout)
+    elif args.export == "prom":
+        text = prometheus_text(telemetry.registry)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote Prometheus export to {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+    else:
+        print(console_summary(telemetry))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,10 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--config", choices=("dido", "megakv"), default="dido")
     p.add_argument("--latency-us", type=float, default=1000.0)
+    p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("ids", nargs="*", help=f"figure ids (default: {' '.join(_QUICK_FIGURES)})")
+    p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("serve", help="run a UDP key-value server")
@@ -238,7 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=11311)
     p.add_argument("--memory-mb", type=int, default=64)
     p.add_argument("--expected-objects", type=int, default=65536)
+    p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "telemetry", help="run a dynamic-workload simulation and export telemetry"
+    )
+    p.add_argument(
+        "--export", choices=("jsonl", "prom", "summary"), default="summary",
+        help="output format (default: summary)",
+    )
+    p.add_argument("--out", metavar="PATH", help="write to PATH instead of stdout")
+    p.add_argument("--batches", type=int, default=4, help="batches per workload phase")
+    p.add_argument("--batch-size", type=int, default=1024, help="queries per batch")
+    p.set_defaults(func=cmd_telemetry)
 
     return parser
 
@@ -247,8 +328,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
-    except ReproError as exc:
+        with _telemetry_to(getattr(args, "telemetry_out", None)):
+            return args.func(args)
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -9,6 +9,7 @@ for runtime pipeline adaptation.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.cluster.ring import HashRing
@@ -16,6 +17,9 @@ from repro.core.dido import DidoSystem
 from repro.errors import ConfigurationError
 from repro.kv.protocol import Query, Response
 from repro.hardware.specs import APU_A10_7850K, PlatformSpec
+from repro.telemetry import get_telemetry
+
+logger = logging.getLogger("repro.cluster.fleet")
 
 
 @dataclass
@@ -78,11 +82,17 @@ class KVCluster:
     def process(self, queries: list[Query]) -> list[Response]:
         """Process a client batch across the fleet; responses in input order."""
         responses: list[Response | None] = [None] * len(queries)
+        telemetry = get_telemetry()
         for node_name, indexed in self.route(queries).items():
             node = self.nodes[node_name]
             batch = [q for _, q in indexed]
             result = node.process(batch)
             self._queries_routed[node_name] += len(batch)
+            if telemetry.enabled:
+                telemetry.registry.counter(
+                    "repro_cluster_node_queries_total",
+                    help="Queries routed to each node",
+                ).inc(len(batch), node=node_name)
             for (index, _), response in zip(indexed, result.responses):
                 responses[index] = response
         return [r for r in responses if r is not None]
@@ -98,6 +108,12 @@ class KVCluster:
         self.ring.remove_node(name)
         del self.nodes[name]
         del self._queries_routed[name]
+        logger.info("node %s failed; %d survivors re-own its key range", name, len(self.nodes))
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.counter(
+                "repro_cluster_node_failures_total", help="Nodes removed from the ring"
+            ).inc()
 
     # ------------------------------------------------------------- reporting
 

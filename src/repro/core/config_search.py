@@ -23,7 +23,7 @@ runtime overhead of this cost estimation is very small").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Iterable
 
 from repro.core.cost_model import CostModel, PipelineAnalyzer, PipelineEstimate
 from repro.core.profiler import WorkloadProfile

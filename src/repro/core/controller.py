@@ -9,32 +9,55 @@ Implements the paper's adaptation mechanism (Sections III-A and V-F):
 * the new plan applies to the *next* batch — in-flight batches carry their
   own pipeline information, so a switch never corrupts processing but does
   delay the throughput recovery (the ~1 ms lag visible in Figure 20).
+
+Every decision leaves an audit trail twice over: an
+:class:`AdaptationEvent` (full before/after :class:`PipelineConfig`) on the
+controller itself, and — when telemetry is enabled — a ``replan``
+:class:`~repro.telemetry.events.TraceEvent` in the process-wide event log,
+plus an INFO log line for operators running without telemetry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+import math
+from dataclasses import dataclass
 
 from repro.core.config_search import ConfigurationSearch
 from repro.core.cost_model import CostModel, PipelineEstimate
 from repro.core.profiler import WorkloadProfile, profile_delta
 from repro.hardware.specs import PlatformSpec
 from repro.core.pipeline_config import PipelineConfig
+from repro.telemetry import get_telemetry, replan_event
+
+logger = logging.getLogger("repro.core.controller")
 
 
 @dataclass(frozen=True)
 class AdaptationEvent:
-    """Record of one re-planning decision."""
+    """Record of one re-planning decision.
+
+    Carries the full before/after configurations (not just their labels) so
+    audits can inspect stage membership, core splits, and index-operation
+    placement of both plans; ``old_config`` is None on the bootstrap plan.
+    """
 
     batch_index: int
     trigger_change: float
     old_label: str
     new_label: str
     estimated_mops: float
+    old_config: PipelineConfig | None = None
+    new_config: PipelineConfig | None = None
 
     @property
     def changed(self) -> bool:
         return self.old_label != self.new_label
+
+    @property
+    def bootstrap(self) -> bool:
+        """True for the first-ever plan (no previous profile to diff)."""
+        return self.old_config is None
 
 
 class AdaptationController:
@@ -93,23 +116,58 @@ class AdaptationController:
         best = self.search.best(
             profile, self.latency_budget_ns, work_stealing=self.work_stealing
         )
-        old_label = self._current.label if self._current is not None else "<none>"
-        self.events.append(
-            AdaptationEvent(
-                batch_index=self._batch_index,
-                trigger_change=trigger,
-                old_label=old_label,
-                new_label=best.config.label,
-                estimated_mops=best.estimate.throughput_mops,
-            )
+        old_config = self._current
+        old_label = old_config.label if old_config is not None else "<none>"
+        event = AdaptationEvent(
+            batch_index=self._batch_index,
+            trigger_change=trigger,
+            old_label=old_label,
+            new_label=best.config.label,
+            estimated_mops=best.estimate.throughput_mops,
+            old_config=old_config,
+            new_config=best.config,
         )
+        self.events.append(event)
         self._planned_for = profile
         self._current = best.config
         self._current_estimate = best.estimate
+        self._record(event, best.estimate)
         return best.config
+
+    def _record(self, event: AdaptationEvent, estimate: PipelineEstimate) -> None:
+        """Mirror one decision into the log and the telemetry event stream."""
+        trigger_text = (
+            "bootstrap" if math.isinf(event.trigger_change)
+            else f"{event.trigger_change:.0%} profile change"
+        )
+        logger.info(
+            "replan at batch %d (%s): %s -> %s (est %.1f MOPS)",
+            event.batch_index,
+            trigger_text,
+            event.old_label,
+            event.new_label,
+            event.estimated_mops,
+        )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.events.append(
+                replan_event(
+                    batch_index=event.batch_index,
+                    trigger_change=event.trigger_change,
+                    old_config=None if event.old_config is None else event.old_label,
+                    new_config=event.new_label,
+                    estimated_mops=event.estimated_mops,
+                    changed=event.changed,
+                    estimated_tmax_us=estimate.tmax_ns / 1000.0,
+                )
+            )
+            telemetry.registry.counter(
+                "repro_replans_total", help="Adaptation decisions taken"
+            ).inc(changed=str(event.changed).lower())
 
     def force_replan(self) -> None:
         """Invalidate the current plan (next profile will re-plan)."""
+        logger.info("force_replan: next profile will re-run the search")
         self._planned_for = None
 
     @property

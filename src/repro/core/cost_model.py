@@ -36,7 +36,6 @@ from repro.core.tasks import (
     TaskDemand,
     TaskModel,
 )
-from repro.errors import ConfigurationError
 from repro.hardware.interference import InterferenceModel
 from repro.hardware.memory import MemorySystem
 from repro.hardware.pcie import PCIeLink

@@ -18,13 +18,13 @@ Two usage styles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.controller import AdaptationController
 from repro.core.profiler import WorkloadProfile, WorkloadProfiler
 from repro.errors import WorkloadError
 from repro.hardware.specs import APU_A10_7850K, PlatformSpec
-from repro.kv.protocol import Query, Response, decode_queries
+from repro.kv.protocol import Query, decode_queries
 from repro.kv.store import KVStore
 from repro.net.nic import SimulatedNIC
 from repro.net.packets import Frame, frames_for_queries

@@ -26,8 +26,7 @@ Structural constraints (and where they come from):
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.tasks import (
     CPU_ONLY_TASKS,

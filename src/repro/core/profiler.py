@@ -13,12 +13,13 @@ more than 10 % relative to the profile the current pipeline was planned for
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import WorkloadError
 from repro.kv.protocol import Query, QueryType
+from repro.telemetry import get_telemetry
 
 #: The paper's re-plan threshold: "the upper limit for the alteration of
 #: workload counters is set to 10%".
@@ -217,6 +218,17 @@ class WorkloadProfiler:
             batch_queries=total,
             insert_buckets=self._last_insert_buckets,
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            gauges = {
+                "repro_profile_get_ratio": (profile.get_ratio, "GET share of the last window"),
+                "repro_profile_zipf_skew": (profile.zipf_skew, "Estimated Zipf exponent"),
+                "repro_profile_key_bytes": (profile.avg_key_size, "Average key size (bytes)"),
+                "repro_profile_value_bytes": (profile.avg_value_size, "Average value size (bytes)"),
+                "repro_profile_window_queries": (float(total), "Queries in the last window"),
+            }
+            for name, (value, help_text) in gauges.items():
+                telemetry.registry.gauge(name, help=help_text).set(value)
         self.epoch += 1
         self._reset_window()
         return profile

@@ -19,6 +19,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 
 #: Queries per claimable set — the APU wavefront width.
 WAVEFRONT = 64
@@ -66,6 +67,12 @@ class TagArray:
                     self._owner[tag] = owner
                     start = tag * self._chunk
                     end = min(start + self._chunk, self._batch_size)
+                    telemetry = get_telemetry()
+                    if telemetry.enabled:
+                        telemetry.registry.counter(
+                            "repro_steal_claims_total",
+                            help="Tag sets claimed, by claiming executor",
+                        ).inc(owner=owner, stolen=str(reverse).lower())
                     return range(start, end)
         return None
 

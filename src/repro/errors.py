@@ -34,3 +34,7 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The pipeline simulator reached an inconsistent state."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry instrument, event, or exporter was misused."""

@@ -17,7 +17,7 @@ nanoseconds are not claims about the real silicon.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

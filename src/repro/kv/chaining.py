@@ -17,7 +17,7 @@ cuckoo choice paying off exactly where the paper says it should.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.kv.hashtable import IndexStats

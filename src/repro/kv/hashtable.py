@@ -22,8 +22,7 @@ runtime", Section IV-B).
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.kv.objects import fnv1a64, key_signature

@@ -9,7 +9,7 @@ profiler's skew estimator uses (paper Section IV-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: 32-bit signature space, matching Mega-KV's compact index entries.
 SIGNATURE_BITS = 32

@@ -8,9 +8,8 @@ as possible" (Section V-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import ProtocolError
 from repro.kv.protocol import Query, Response, encode_queries, encode_responses
 
 #: Standard Ethernet payload limit.

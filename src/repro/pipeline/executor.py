@@ -18,7 +18,7 @@ the paper measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.cost_model import (
     DETAILED_FIDELITY,
@@ -31,6 +31,7 @@ from repro.core.tasks import CalibrationConstants, DEFAULT_CALIBRATION, IndexOp
 from repro.errors import SimulationError
 from repro.hardware.specs import PlatformSpec
 from repro.core.pipeline_config import PipelineConfig
+from repro.telemetry import get_telemetry, stage_span
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,7 @@ class PipelineExecutor(PipelineAnalyzer):
         fidelity: FidelityOptions = DETAILED_FIDELITY,
     ):
         super().__init__(platform, fidelity, constants)
+        self._measurements = 0
 
     def measure(
         self,
@@ -107,7 +109,44 @@ class PipelineExecutor(PipelineAnalyzer):
         latency_budget_ns: float = 1_000_000.0,
     ) -> PipelineMeasurement:
         """Steady-state measurement of one configuration on one workload."""
-        return PipelineMeasurement(self.estimate(config, profile, latency_budget_ns))
+        measurement = PipelineMeasurement(self.estimate(config, profile, latency_budget_ns))
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            self._emit_measurement(telemetry, measurement)
+        return measurement
+
+    def _emit_measurement(self, telemetry, measurement: PipelineMeasurement) -> None:
+        """Record one steady-state measurement: per-stage spans with the
+        stage's simulated time attributed to each of its tasks, plus batch
+        counters and a period histogram."""
+        self._measurements += 1
+        index = self._measurements
+        for spec, stage in zip(
+            measurement.estimate.config.stages, measurement.stages()
+        ):
+            for task in spec.tasks:
+                telemetry.events.append(
+                    stage_span(
+                        stage=stage.label,
+                        task=task.name,
+                        processor=spec.processor.value,
+                        duration_us=stage.time_us,
+                        batch=index,
+                    )
+                )
+            telemetry.registry.histogram(
+                "repro_stage_time_us", help="Simulated per-stage time per batch"
+            ).observe(stage.time_us, stage=stage.label)
+        telemetry.registry.counter(
+            "repro_executor_measurements_total", help="Steady-state measurements taken"
+        ).inc()
+        telemetry.registry.counter(
+            "repro_executor_batch_queries_total",
+            help="Queries covered by measured batches",
+        ).inc(measurement.batch_size)
+        telemetry.registry.histogram(
+            "repro_batch_period_us", help="Simulated pipeline period per batch"
+        ).observe(measurement.tmax_us)
 
     # -------------------------------------------------------- time stepping
 

@@ -25,11 +25,13 @@ claim discipline functionally.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-from repro.core.tasks import GPU_ELIGIBLE_TASKS, IndexOp, Task
+from repro.core.tasks import IndexOp, Task
 from repro.core.work_stealing import TagArray
 from repro.errors import SimulationError
+from repro.telemetry import get_telemetry, stage_span, steal_event
 from repro.kv.protocol import (
     Query,
     QueryType,
@@ -90,19 +92,35 @@ class FunctionalPipeline:
         self.store = store
         self._epoch_source = epoch_source or (lambda: 0)
         self._batch_inserts: dict[bytes, _QueryContext] = {}
+        self._batch_counter = 0
+        self._pp_hint_us = 0.0
 
     # ------------------------------------------------------------ execution
 
     def process_frames(self, config: PipelineConfig, frames: list[Frame]) -> BatchResult:
         """RV entry point: parse queries out of frames, then process."""
+        t0 = time.perf_counter()
         queries: list[Query] = []
         for frame in frames:
             queries.extend(decode_queries(frame.payload))
+        # Parsing frame payloads is the PP task's real work; remember its
+        # cost so the batch's PP span reports it (harmless when disabled).
+        self._pp_hint_us = (time.perf_counter() - t0) * 1e6
         return self.process_batch(config, queries)
 
     def process_batch(self, config: PipelineConfig, queries: list[Query]) -> BatchResult:
         """Run one batch through every stage of ``config`` in order."""
+        telemetry = get_telemetry()
+        collect = telemetry.enabled
+        pp_us, self._pp_hint_us = self._pp_hint_us, 0.0
+        task_times: dict[Task, float] = {}
+        t0 = time.perf_counter() if collect else 0.0
         contexts = [_QueryContext(q) for q in queries]
+        if collect:
+            # Batch intake (building per-query contexts) is RV's footprint
+            # on this plane; PP's is whatever frame parsing cost upstream.
+            task_times[Task.RV] = (time.perf_counter() - t0) * 1e6
+            task_times[Task.PP] = pp_us
         steal_claims: dict[str, int] = {}
         # Batch-local dedup of pending index Inserts: when one key is SET
         # several times in a batch, only the last version's Insert reaches
@@ -117,21 +135,67 @@ class FunctionalPipeline:
                 and len(contexts) > 0
             )
             if use_stealing:
-                claims = self._run_stage_with_stealing(stage, contexts)
+                claims = self._run_stage_with_stealing(stage, contexts, task_times if collect else None)
                 for owner, count in claims.items():
                     steal_claims[owner] = steal_claims.get(owner, 0) + count
             else:
-                self._run_stage(stage, contexts, range(len(contexts)))
+                self._run_stage(stage, contexts, range(len(contexts)), task_times if collect else None)
         responses = [ctx.response for ctx in contexts]
         if any(r is None for r in responses):
             raise SimulationError("a query completed the pipeline without a response")
+        t_send = time.perf_counter() if collect else 0.0
         frames = frames_for_responses(responses)
+        self._batch_counter += 1
+        if collect:
+            task_times[Task.SD] = (time.perf_counter() - t_send) * 1e6
+            self._emit_batch(telemetry, config, task_times, steal_claims, len(queries))
         return BatchResult(
             responses=responses,
             frames=frames,
             config_label=config.label,
             steal_claims=steal_claims,
         )
+
+    def _emit_batch(
+        self,
+        telemetry,
+        config: PipelineConfig,
+        task_times: dict[Task, float],
+        steal_claims: dict[str, int],
+        num_queries: int,
+    ) -> None:
+        """Append this batch's spans, steal summary, and counters."""
+        batch = self._batch_counter
+        for stage in config.stages:
+            for task in stage.tasks:
+                duration = task_times.get(task, 0.0)
+                telemetry.events.append(
+                    stage_span(
+                        stage=stage.label,
+                        task=task.name,
+                        processor=stage.processor.value,
+                        duration_us=duration,
+                        batch=batch,
+                    )
+                )
+                telemetry.registry.histogram(
+                    "repro_task_time_us", help="Wall-clock task time per batch"
+                ).observe(duration, task=task.name)
+        if steal_claims:
+            gpu_stage = config.gpu_stage
+            telemetry.events.append(
+                steal_event(
+                    stage=gpu_stage.label if gpu_stage else "<none>",
+                    claims=steal_claims,
+                    batch=batch,
+                )
+            )
+        telemetry.registry.counter(
+            "repro_pipeline_batches_total", help="Functional batches executed"
+        ).inc()
+        telemetry.registry.counter(
+            "repro_pipeline_queries_total", help="Queries through the functional pipeline"
+        ).inc(num_queries)
 
     # --------------------------------------------------------------- stages
 
@@ -141,9 +205,10 @@ class FunctionalPipeline:
     _OP_PRIORITY = {IndexOp.DELETE: 0, IndexOp.INSERT: 1, IndexOp.SEARCH: 2}
 
     def _stage_phases(self, stage) -> list:
-        """The stage's work as an ordered list of whole-batch passes.
+        """The stage's work as ordered ``(task, phase)`` whole-batch passes.
 
-        Each phase is a callable over query indices.  Batch semantics: a
+        Each phase is a callable over query indices, tagged with the task it
+        belongs to so per-task spans can be attributed.  Batch semantics: a
         phase is applied to every query (across all steal chunks) before the
         next phase starts, exactly like Mega-KV's staged kernels.
         """
@@ -157,32 +222,52 @@ class FunctionalPipeline:
             if task in (Task.RV, Task.PP, Task.SD):
                 continue  # handled at batch entry/exit; timing-only here
             if task is Task.MM:
-                phases.append(self._task_mm)
+                phases.append((task, self._task_mm))
                 # Insert/Delete reassigned to this CPU stage run right
                 # after their producer (MM); Search never lives here
                 # without the IN task.
                 if Task.IN not in stage.tasks:
                     for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
                         if op is not IndexOp.SEARCH:
-                            phases.append(op_passes[op])
+                            phases.append((task, op_passes[op]))
             elif task is Task.IN:
                 for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
-                    phases.append(op_passes[op])
+                    phases.append((task, op_passes[op]))
             elif task is Task.KC:
-                phases.append(self._task_kc)
+                phases.append((task, self._task_kc))
             elif task is Task.RD:
-                phases.append(self._task_rd)
+                phases.append((task, self._task_rd))
             elif task is Task.WR:
-                phases.append(self._task_wr)
+                phases.append((task, self._task_wr))
         return phases
 
-    def _run_stage(self, stage, contexts: list[_QueryContext], indices) -> None:
+    @staticmethod
+    def _credit(task_times: dict[Task, float] | None, task: Task, t0: float) -> None:
+        """Add the elapsed time since ``t0`` to ``task``'s running total."""
+        if task_times is not None:
+            elapsed_us = (time.perf_counter() - t0) * 1e6
+            task_times[task] = task_times.get(task, 0.0) + elapsed_us
+
+    def _run_stage(
+        self,
+        stage,
+        contexts: list[_QueryContext],
+        indices,
+        task_times: dict[Task, float] | None = None,
+    ) -> None:
         """Execute a stage's phases over the selected query indices."""
-        for phase in self._stage_phases(stage):
+        for task, phase in self._stage_phases(stage):
+            t0 = time.perf_counter() if task_times is not None else 0.0
             for i in indices:
                 phase(contexts[i])
+            self._credit(task_times, task, t0)
 
-    def _run_stage_with_stealing(self, stage, contexts) -> dict[str, int]:
+    def _run_stage_with_stealing(
+        self,
+        stage,
+        contexts,
+        task_times: dict[Task, float] | None = None,
+    ) -> dict[str, int]:
         """Split each phase's queries between owner and helper via tags.
 
         Chunking happens *within* a phase: every claim set of one phase is
@@ -190,7 +275,8 @@ class FunctionalPipeline:
         passes and results are identical to the unstolen execution.
         """
         claims = {"gpu": 0, "cpu": 0}
-        for phase in self._stage_phases(stage):
+        for task, phase in self._stage_phases(stage):
+            t0 = time.perf_counter() if task_times is not None else 0.0
             tags = TagArray(len(contexts))
             # Deterministic interleave: the owner takes two sets for each
             # one the helper steals (a stand-in for the runtime race;
@@ -209,6 +295,7 @@ class FunctionalPipeline:
                 for i in claimed:
                     phase(contexts[i])
                 turn += 1
+            self._credit(task_times, task, t0)
         return claims
 
     # ---------------------------------------------------------------- tasks

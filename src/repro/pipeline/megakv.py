@@ -13,7 +13,6 @@ pays PCIe transfers — evaluated for Figures 16-18.
 
 from __future__ import annotations
 
-from repro.core.cost_model import PipelineEstimate
 from repro.core.profiler import WorkloadProfile
 from repro.core.tasks import Task
 from repro.hardware.specs import DISCRETE_MEGAKV, PlatformSpec

@@ -24,20 +24,23 @@ See :mod:`repro.client` for the matching client.
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.dido import DidoSystem
 from repro.errors import ConfigurationError, ProtocolError
 from repro.kv.protocol import (
     Query,
     Response,
-    ResponseStatus,
     decode_queries,
     encode_responses,
 )
+from repro.telemetry import get_telemetry
+
+logger = logging.getLogger("repro.server")
 
 #: Largest datagram we attempt to receive (jumbo values are IP-fragmented).
 MAX_DATAGRAM = 64 * 1024
@@ -113,6 +116,7 @@ class DidoUDPServer:
         self._running.set()
         self._thread = threading.Thread(target=self.serve_forever, daemon=True)
         self._thread.start()
+        logger.info("serving on %s:%d", *self.address)
 
     def stop(self) -> None:
         """Stop serving and close the socket."""
@@ -124,6 +128,12 @@ class DidoUDPServer:
             self._socket.close()
         except OSError:  # pragma: no cover - double close
             pass
+        logger.info(
+            "stopped: %d queries in %d batches, %d protocol errors",
+            self.stats.queries,
+            self.stats.batches,
+            self.stats.protocol_errors,
+        )
 
     def serve_forever(self) -> None:
         """Blocking serve loop (also the body of the background thread)."""
@@ -147,8 +157,15 @@ class DidoUDPServer:
             self.stats.datagrams_in += 1
             try:
                 queries = decode_queries(payload)
-            except ProtocolError:
+            except ProtocolError as exc:
                 self.stats.protocol_errors += 1
+                logger.warning("dropping undecodable datagram from %s: %s", peer, exc)
+                telemetry = get_telemetry()
+                if telemetry.enabled:
+                    telemetry.registry.counter(
+                        "repro_server_protocol_errors_total",
+                        help="Datagrams dropped as unparseable",
+                    ).inc()
                 continue
             if queries:
                 pending.append((queries, peer))
@@ -171,6 +188,20 @@ class DidoUDPServer:
         result = self.system.process(batch)
         self.stats.queries += len(batch)
         self.stats.batches += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.counter(
+                "repro_server_queries_total", help="Queries served over UDP"
+            ).inc(len(batch))
+            telemetry.registry.counter(
+                "repro_server_batches_total", help="Coalesced server batches"
+            ).inc()
+            errors = len(batch) - result.ok_count
+            if errors:
+                telemetry.registry.counter(
+                    "repro_server_query_errors_total",
+                    help="Queries answered with an error status",
+                ).inc(errors)
         # Regroup responses per peer, preserving per-peer order.
         by_peer: dict[tuple[str, int], list[Response]] = {}
         for peer, response in zip(owners, result.responses):

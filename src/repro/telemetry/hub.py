@@ -1,0 +1,67 @@
+"""The telemetry hub: one enabled flag, one registry, one event log.
+
+Instrumented modules never construct their own registries; they call
+:func:`get_telemetry` and check :attr:`Telemetry.enabled` before doing any
+work.  The process-wide default hub starts *disabled*, so the instrumented
+hot paths cost exactly one attribute check until someone opts in (the CLI's
+``--telemetry-out``, the ``repro telemetry`` subcommand, or a test).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import DEFAULT_CAPACITY, EventLog, TraceEvent
+from repro.telemetry.registry import MetricsRegistry
+
+
+class Telemetry:
+    """A metrics registry and an event log behind a single on/off switch.
+
+    ``enabled`` is a plain attribute read by hot paths — no property, no
+    lock — so the disabled case stays as close to free as Python allows.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int = DEFAULT_CAPACITY):
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.events = EventLog(capacity)
+
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append an event iff enabled (convenience for instrumented code)."""
+        if self.enabled:
+            self.events.append(event)
+
+    def reset(self) -> None:
+        """Zero metrics and drop retained events; keeps the enabled state."""
+        self.registry.reset()
+        self.events.clear()
+
+
+#: The process-wide hub every instrumented module shares.
+_default = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide :class:`Telemetry` hub (disabled until enabled)."""
+    return _default
+
+
+def configure(enabled: bool = True, capacity: int | None = None) -> Telemetry:
+    """Reconfigure the process-wide hub in place.
+
+    Replacing the hub object would strand modules that cached it, so the
+    singleton is mutated: optionally swapping in a fresh event log of the
+    requested capacity and always resetting collected data.
+    """
+    if capacity is not None:
+        _default.events = EventLog(capacity)
+    _default.reset()
+    _default.enabled = enabled
+    return _default

@@ -1,0 +1,95 @@
+"""Zero-overhead-when-disabled context managers for timing code regions.
+
+``with span("rebuild_index", shard=3): ...`` appends one ``span``
+:class:`~repro.telemetry.events.TraceEvent` with the measured wall duration;
+``with timed(histogram, stage="IN"): ...`` folds the duration into a
+:class:`~repro.telemetry.registry.Histogram` instead.  When the hub is
+disabled both return a shared no-op context manager — no clock reads, no
+allocations beyond the call itself — so instrumentation can stay in hot
+paths permanently.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.hub import Telemetry, get_telemetry
+from repro.telemetry.registry import Histogram
+
+
+class _NullContext:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL = _NullContext()
+
+
+class _SpanContext:
+    __slots__ = ("_telemetry", "_name", "_fields", "_t0")
+
+    def __init__(self, telemetry: Telemetry, name: str, fields: dict):
+        self._telemetry = telemetry
+        self._name = name
+        self._fields = fields
+
+    def __enter__(self) -> "_SpanContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration_us = (time.perf_counter() - self._t0) * 1e6
+        self._telemetry.events.append(
+            TraceEvent(
+                kind="span",
+                name=self._name,
+                t_wall=time.time(),
+                duration_us=duration_us,
+                fields=self._fields,
+            )
+        )
+
+
+class _TimedContext:
+    __slots__ = ("_histogram", "_labels", "_t0")
+
+    def __init__(self, histogram: Histogram, labels: dict):
+        self._histogram = histogram
+        self._labels = labels
+
+    def __enter__(self) -> "_TimedContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe((time.perf_counter() - self._t0) * 1e6, **self._labels)
+
+
+def span(name: str, telemetry: Telemetry | None = None, **fields):
+    """Time a region and append a ``span`` event; no-op when disabled."""
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    if not telemetry.enabled:
+        return _NULL
+    return _SpanContext(telemetry, name, fields)
+
+
+def timed(histogram: Histogram | str, telemetry: Telemetry | None = None, **labels):
+    """Time a region into a histogram (microseconds); no-op when disabled.
+
+    ``histogram`` may be the instrument itself or a metric name resolved
+    against the hub's registry.
+    """
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    if not telemetry.enabled:
+        return _NULL
+    if isinstance(histogram, str):
+        histogram = telemetry.registry.histogram(histogram)
+    return _TimedContext(histogram, labels)

@@ -14,7 +14,6 @@ readable by any implementation of the protocol.
 
 from __future__ import annotations
 
-import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path

@@ -45,6 +45,13 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             error_rate(0.0, 1.0)
 
+    def test_error_rate_rejects_bad_estimate(self):
+        """A zero/negative estimate is a modelling bug, not a 100 % error."""
+        with pytest.raises(ConfigurationError):
+            error_rate(100.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            error_rate(100.0, -5.0)
+
 
 class TestReporting:
     def test_format_row_floats(self):

@@ -58,3 +58,51 @@ class TestCommands:
     def test_figures_unknown(self, capsys):
         assert main(["figures", "fig99"]) == 2
         assert "unknown figures" in capsys.readouterr().err
+
+
+class TestTelemetryCommand:
+    @pytest.fixture(autouse=True)
+    def _disable_after(self):
+        yield
+        from repro.telemetry import configure
+
+        configure(enabled=False)
+
+    def test_summary(self, capsys):
+        assert main(["telemetry", "--batches", "1", "--batch-size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "replans" in out
+
+    def test_jsonl_export(self, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["telemetry", "--export", "jsonl", "--out", path,
+             "--batches", "2", "--batch-size", "256"]
+        )
+        assert code == 0
+        metrics, events = read_jsonl(path)
+        assert any(e.kind == "replan" for e in events)
+        tasks = {e.fields["task"] for e in events if e.name == "pipeline_stage"}
+        assert tasks == {"RV", "PP", "MM", "IN", "KC", "RD", "WR", "SD"}
+        assert "repro_pipeline_queries_total" in metrics
+
+    def test_prom_export_parses(self, capsys):
+        from repro.telemetry import parse_prometheus
+
+        assert main(["telemetry", "--export", "prom",
+                     "--batches", "1", "--batch-size", "256"]) == 0
+        out = capsys.readouterr().out
+        families = parse_prometheus(out)
+        assert "repro_pipeline_batches_total" in families
+
+    def test_measure_telemetry_out(self, tmp_path, capsys):
+        from repro.telemetry import read_jsonl
+
+        path = str(tmp_path / "measure.jsonl")
+        assert main(["measure", "K8-G95-U", "--telemetry-out", path]) == 0
+        metrics, events = read_jsonl(path)
+        assert "repro_executor_measurements_total" in metrics
+        assert any(e.kind == "span" for e in events)

@@ -9,7 +9,7 @@ from repro.core.config_search import (
 )
 from repro.core.cost_model import CostModel
 from repro.core.tasks import IndexOp, Task
-from repro.hardware.specs import APU_A10_7850K, ProcessorKind
+from repro.hardware.specs import APU_A10_7850K
 from repro.pipeline.megakv import megakv_coupled_config
 
 from conftest import profile_for

@@ -76,3 +76,53 @@ class TestPlanning:
         controller = AdaptationController(APU_A10_7850K, work_stealing=False)
         config = controller.config_for(profile_for("K16-G95-S"))
         assert not config.work_stealing
+
+
+class TestAdaptationEvents:
+    def test_bootstrap_event_has_no_old_config(self, controller):
+        controller.config_for(profile_for("K16-G95-S"))
+        event = controller.events[0]
+        assert event.bootstrap
+        assert event.old_config is None
+        assert event.old_label == "<none>"
+        assert event.new_config is controller.current_config
+        assert event.changed  # "<none>" -> a real pipeline counts as a change
+        assert event.trigger_change == float("inf")
+
+    def test_same_config_replan_is_not_a_change(self, controller):
+        """force_replan on a steady workload re-runs the search, picks the
+        same plan, and the resulting event reports changed == False."""
+        profile = profile_for("K16-G95-S")
+        first = controller.config_for(profile)
+        controller.force_replan()
+        assert controller.config_for(profile) == first
+        assert controller.replan_count == 2
+        event = controller.events[1]
+        assert not event.changed
+        assert not event.bootstrap
+        assert event.old_config == event.new_config == first
+        # force_replan discards the planned-for profile, so the trigger is
+        # "no baseline" (inf), exactly like the bootstrap plan's.
+        assert event.trigger_change == float("inf")
+
+    def test_force_replan_keeps_current_plan_until_next_profile(self, controller):
+        config = controller.config_for(profile_for("K16-G95-S"))
+        controller.force_replan()
+        assert controller.current_config is config
+        assert controller.replan_count == 1
+
+    def test_events_carry_full_configs_across_a_switch(self, controller):
+        controller.config_for(profile_for("K16-G95-S"))
+        controller.config_for(profile_for("K8-G50-U"))
+        event = controller.events[1]
+        assert event.old_config is not None
+        assert event.old_config.label == event.old_label
+        assert event.new_config.label == event.new_label
+        assert event.changed == (event.old_label != event.new_label)
+
+    def test_replans_logged_at_info(self, controller, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.core.controller"):
+            controller.config_for(profile_for("K16-G95-S"))
+        assert any("replan" in message for message in caplog.messages)

@@ -7,7 +7,6 @@ from repro.core.tasks import (
     CPU_ONLY_TASKS,
     DEFAULT_CALIBRATION,
     GPU_ELIGIBLE_TASKS,
-    OBJECT_HEADER_BYTES,
     TASK_ORDER,
     IndexOp,
     StageContext,

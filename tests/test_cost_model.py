@@ -9,9 +9,7 @@ from repro.core.cost_model import (
     CostModel,
     PipelineAnalyzer,
 )
-from repro.core.pipeline_config import PipelineConfig
-from repro.core.profiler import WorkloadProfile
-from repro.core.tasks import IndexOp, Task
+from repro.core.tasks import IndexOp
 from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV
 from repro.pipeline.megakv import megakv_coupled_config
 

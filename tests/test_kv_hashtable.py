@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CapacityError, ConfigurationError
-from repro.kv.hashtable import EMPTY, CuckooHashTable
+from repro.kv.hashtable import CuckooHashTable
 from repro.kv.objects import key_signature
 
 

@@ -1,6 +1,5 @@
 """Unit tests for key-value objects, signatures, and the FNV hash."""
 
-import pytest
 
 from repro.kv.objects import KVObject, fnv1a64, key_signature
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.latency import LatencyProfile, latency_profile
+from repro.analysis.latency import latency_profile
 from repro.core.cost_model import CostModel
 from repro.errors import ConfigurationError
 from repro.hardware.specs import APU_A10_7850K

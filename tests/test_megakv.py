@@ -1,6 +1,5 @@
 """Unit tests for the Mega-KV baseline (coupled and discrete)."""
 
-import pytest
 
 from repro.core.tasks import IndexOp, Task
 from repro.hardware.specs import APU_A10_7850K, DISCRETE_MEGAKV, ProcessorKind

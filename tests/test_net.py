@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError
 from repro.kv.protocol import (
     Query,
     QueryType,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.pipeline_config import PipelineConfig
-from repro.core.profiler import WorkloadProfile
 from repro.core.tasks import IndexOp, Task
 from repro.errors import SimulationError
 from repro.hardware.specs import APU_A10_7850K

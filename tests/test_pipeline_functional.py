@@ -1,11 +1,9 @@
 """Functional-pipeline tests: every configuration computes identical results."""
 
-import pytest
 
 from repro.core.config_search import enumerate_configs
 from repro.core.pipeline_config import PipelineConfig
 from repro.core.tasks import Task
-from repro.errors import WorkloadError
 from repro.kv.protocol import Query, QueryType, ResponseStatus, decode_responses
 from repro.kv.store import KVStore
 from repro.net.packets import frames_for_queries

@@ -1,7 +1,6 @@
 """Additional property-based tests: trace codec, cross-backend store
 equivalence, analyzer monotonicity, frame packing."""
 
-import dataclasses
 
 import pytest
 from hypothesis import HealthCheck, given, settings

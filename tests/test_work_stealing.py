@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.core.work_stealing import WAVEFRONT, StealOutcome, TagArray, plan_steal
+from repro.core.work_stealing import WAVEFRONT, TagArray, plan_steal
 from repro.errors import ConfigurationError
 
 
