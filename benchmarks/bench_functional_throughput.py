@@ -1,0 +1,153 @@
+"""Functional-plane throughput: columnar engine vs per-query dispatch.
+
+Runs a YCSB-style query stream through the functional pipeline under each
+canonical pipeline configuration, once with the batch-columnar engine the
+pipeline now uses (serial or stealing, per config) and once with the
+:class:`~repro.engine.reference.ReferenceEngine` — the pre-refactor
+per-query execution path preserved as the baseline.  Asserts the two
+engines produce byte-identical response frames, reports queries/sec and
+speedup per configuration, and writes ``BENCH_functional.json``.
+
+Standalone (not a pytest benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_functional_throughput.py \
+        [--batch-size 4096] [--batches 8] [--repeat 3] [--out BENCH_functional.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.pipeline_config import PipelineConfig
+from repro.core.tasks import Task
+from repro.kv.store import KVStore
+from repro.pipeline.functional import FunctionalPipeline
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.workloads.ycsb import QueryStream, standard_workload
+
+#: CPU cores assumed for config assembly (the paper's A10-7850K has 4).
+TOTAL_CPU_CORES = 4
+
+#: The workload driving the benchmark (16-byte keys, 95 % GET, skewed).
+WORKLOAD = "K16-G95-S"
+
+
+def canonical_configs() -> list[tuple[str, PipelineConfig]]:
+    """The pipeline shapes the paper exercises, one per structural family."""
+    return [
+        ("megakv-coupled", megakv_coupled_config()),
+        (
+            "cpu-only",
+            PipelineConfig.assemble((), total_cpu_cores=TOTAL_CPU_CORES),
+        ),
+        (
+            "in-gpu-reassigned",
+            PipelineConfig.assemble(
+                (Task.IN,),
+                total_cpu_cores=TOTAL_CPU_CORES,
+                insert_on_cpu=True,
+                delete_on_cpu=True,
+                work_stealing=False,
+            ),
+        ),
+        (
+            "in-kc-rd-gpu-stealing",
+            PipelineConfig.assemble(
+                (Task.IN, Task.KC, Task.RD),
+                total_cpu_cores=TOTAL_CPU_CORES,
+                work_stealing=True,
+            ),
+        ),
+    ]
+
+
+def make_batches(batch_size: int, batches: int, seed: int) -> list:
+    stream = QueryStream(standard_workload(WORKLOAD), num_keys=20_000, seed=seed)
+    return [stream.next_batch(batch_size) for _ in range(batches)]
+
+
+def run_engine(engine, config, batches) -> tuple[float, list[bytes]]:
+    """Process all batches on a fresh store; returns (seconds, frame bytes).
+
+    Store construction happens outside the timed region — both engines pay
+    it equally and it is not query processing.
+    """
+    store = KVStore(64 << 20, 40_000)
+    pipeline = FunctionalPipeline(store, engine=engine)
+    outputs: list[bytes] = []
+    t0 = time.perf_counter()
+    for batch in batches:
+        result = pipeline.process_batch(config, batch)
+        outputs.append(b"".join(frame.payload for frame in result.frames))
+    elapsed = time.perf_counter() - t0
+    return elapsed, outputs
+
+
+def bench_config(name, config, batches, repeat, total_queries):
+    best = {"reference": float("inf"), "columnar": float("inf")}
+    reference_frames = columnar_frames = None
+    for _ in range(repeat):
+        elapsed, reference_frames = run_engine("reference", config, batches)
+        best["reference"] = min(best["reference"], elapsed)
+        elapsed, columnar_frames = run_engine(None, config, batches)
+        best["columnar"] = min(best["columnar"], elapsed)
+    if reference_frames != columnar_frames:
+        raise AssertionError(
+            f"{name}: columnar engine responses differ from the reference engine"
+        )
+    ref_qps = total_queries / best["reference"]
+    col_qps = total_queries / best["columnar"]
+    return {
+        "config": name,
+        "pipeline": config.label,
+        "queries": total_queries,
+        "reference_qps": round(ref_qps),
+        "columnar_qps": round(col_qps),
+        "speedup": round(col_qps / ref_qps, 3),
+        "byte_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--batches", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_functional.json")
+    args = parser.parse_args(argv)
+
+    batches = make_batches(args.batch_size, args.batches, args.seed)
+    total_queries = args.batch_size * args.batches
+    results = []
+    for name, config in canonical_configs():
+        row = bench_config(name, config, batches, args.repeat, total_queries)
+        results.append(row)
+        print(
+            f"{name:24s} ref={row['reference_qps']:>9,} q/s  "
+            f"columnar={row['columnar_qps']:>9,} q/s  "
+            f"speedup={row['speedup']:.2f}x",
+            flush=True,
+        )
+
+    payload = {
+        "workload": WORKLOAD,
+        "batch_size": args.batch_size,
+        "batches": args.batches,
+        "results": results,
+        "mean_speedup": round(
+            sum(r["speedup"] for r in results) / len(results), 3
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} (mean speedup {payload['mean_speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

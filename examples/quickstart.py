@@ -33,6 +33,25 @@ def main() -> None:
     ):
         print(f"{query:9s} -> {response.status.name:9s} {response.value!r}")
 
+    # --- engine cross-check -------------------------------------------------
+    # The functional plane executes batches on a columnar engine; pinning
+    # engine="reference" replays the same queries on the preserved
+    # per-query path, which must agree byte-for-byte.
+    reference = DidoSystem(
+        memory_bytes=64 << 20, expected_objects=50_000, engine="reference"
+    )
+    ref_result = reference.process(
+        [
+            Query(QueryType.SET, b"user:42", b'{"name": "alice"}'),
+            Query(QueryType.GET, b"user:42"),
+            Query(QueryType.GET, b"user:missing"),
+            Query(QueryType.DELETE, b"user:42"),
+        ]
+    )
+    statuses = [r.status for r in result.responses]
+    assert statuses == [r.status for r in ref_result.responses]
+    print("reference engine agrees:", [s.name for s in statuses])
+
     # --- a realistic batch workload ----------------------------------------
     spec = standard_workload("K16-G95-S")  # 16 B keys, 95 % GET, Zipf 0.99
     stream = QueryStream(spec, num_keys=10_000, seed=7)

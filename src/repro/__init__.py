@@ -34,6 +34,16 @@ from repro.core.cost_model import CostModel, PipelineEstimate
 from repro.core.dido import DidoSystem, SystemReport
 from repro.core.profiler import WorkloadProfile, WorkloadProfiler
 from repro.core.tasks import IndexOp, Task
+from repro.engine import (
+    ENGINE_NAMES,
+    BatchPlane,
+    ReferenceEngine,
+    SerialEngine,
+    StagePlan,
+    StealingEngine,
+    compile_stage_plan,
+    resolve_engine,
+)
 from repro.errors import (
     CapacityError,
     ConfigurationError,
@@ -84,15 +94,21 @@ __all__ = [
     "summarize_trace",
     "write_trace",
     "AdaptationController",
+    "BatchPlane",
     "CapacityError",
     "ConfigurationError",
     "ConfigurationSearch",
     "CostModel",
     "DISCRETE_MEGAKV",
     "DidoSystem",
+    "ENGINE_NAMES",
     "FunctionalPipeline",
     "IndexOp",
     "KVStore",
+    "ReferenceEngine",
+    "SerialEngine",
+    "StagePlan",
+    "StealingEngine",
     "PipelineConfig",
     "PipelineEstimate",
     "PipelineExecutor",
@@ -122,7 +138,9 @@ __all__ = [
     "WorkloadProfiler",
     "WorkloadSpec",
     "best_config_for",
+    "compile_stage_plan",
     "enumerate_configs",
+    "resolve_engine",
     "megakv_coupled_config",
     "megakv_discrete_config",
     "standard_workload",

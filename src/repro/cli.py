@@ -10,7 +10,7 @@ Commands
 ``figures [IDS ...]``
     Regenerate paper figures (e.g. ``fig11 fig15``; default: the quick ones)
     and print their tables.
-``serve [--host H] [--port P]``
+``serve [--host H] [--port P] [--engine NAME]``
     Run a real UDP key-value server backed by an adaptive DIDO system.
 ``workloads``
     List the 24 standard paper workloads.
@@ -33,6 +33,7 @@ from repro.analysis.reporting import Table
 from repro.core.config_search import ConfigurationSearch
 from repro.core.cost_model import CostModel
 from repro.core.profiler import WorkloadProfile
+from repro.engine import ENGINE_NAMES
 from repro.errors import ReproError
 from repro.hardware.specs import APU_A10_7850K
 from repro.pipeline.executor import PipelineExecutor
@@ -216,7 +217,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import DidoUDPServer
 
     system = DidoSystem(
-        memory_bytes=args.memory_mb << 20, expected_objects=args.expected_objects
+        memory_bytes=args.memory_mb << 20,
+        expected_objects=args.expected_objects,
+        engine=args.engine,
     )
     server = DidoUDPServer((args.host, args.port), system=system)
     host, port = server.address
@@ -249,7 +252,9 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.workloads.ycsb import QueryStream
 
     telemetry = configure(enabled=True)
-    system = DidoSystem(memory_bytes=64 << 20, expected_objects=40_000)
+    system = DidoSystem(
+        memory_bytes=64 << 20, expected_objects=40_000, engine=args.engine
+    )
     for label in _TELEMETRY_PHASES:
         stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
         for _ in range(args.batches):
@@ -306,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=11311)
     p.add_argument("--memory-mb", type=int, default=64)
     p.add_argument("--expected-objects", type=int, default=65536)
+    p.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="auto",
+        help="functional execution backend (default: auto)",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_serve)
 
@@ -319,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", help="write to PATH instead of stdout")
     p.add_argument("--batches", type=int, default=4, help="batches per workload phase")
     p.add_argument("--batch-size", type=int, default=1024, help="queries per batch")
+    p.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="auto",
+        help="functional execution backend (default: auto)",
+    )
     p.set_defaults(func=cmd_telemetry)
 
     return parser

@@ -43,6 +43,9 @@ class KVCluster:
         Hardware model each node plans against.
     node_memory_bytes / expected_objects:
         Per-node store sizing.
+    engine:
+        Functional execution backend for every node's pipeline (see
+        :class:`~repro.pipeline.functional.FunctionalPipeline`).
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class KVCluster:
         platform: PlatformSpec = APU_A10_7850K,
         node_memory_bytes: int = 32 << 20,
         expected_objects: int = 32768,
+        engine=None,
     ):
         if not node_names:
             raise ConfigurationError("a cluster needs at least one node")
@@ -65,6 +69,7 @@ class KVCluster:
                 platform,
                 memory_bytes=node_memory_bytes,
                 expected_objects=expected_objects,
+                engine=engine,
             )
             self._queries_routed[name] = 0
 

@@ -36,6 +36,7 @@ from repro.core.tasks import (
     TaskDemand,
     TaskModel,
 )
+from repro.engine.plan import PhaseKind, compile_stage_plan
 from repro.hardware.interference import InterferenceModel
 from repro.hardware.memory import MemorySystem
 from repro.hardware.pcie import PCIeLink
@@ -242,41 +243,49 @@ class PipelineAnalyzer:
     def _demand_template(
         self, config: PipelineConfig, profile: WorkloadProfile
     ) -> list[list[tuple[TaskDemand, float]]]:
+        """Unit-batch demands per stage, derived from the compiled StagePlan.
+
+        The plan (shared with the functional engines) decides which phases a
+        stage executes and in what order; this method only attaches costs:
+        whole-task phases get :meth:`TaskModel.demand`, index-op phases get
+        :meth:`TaskModel.index_demand` scaled by the fraction of queries
+        that trigger the operation.
+        """
         key = (config, profile)
         cached = self._template_cache.get(key)
         if cached is not None:
             return cached
+        plan = compile_stage_plan(config)
         search_buckets = self._search_buckets(config)
         insert_buckets = profile.insert_buckets * self.fidelity.probe_inflation
+        multipliers = {
+            IndexOp.SEARCH: profile.get_ratio,
+            IndexOp.INSERT: profile.set_ratio,
+            IndexOp.DELETE: profile.set_ratio,
+        }
         per_stage: list[list[tuple[TaskDemand, float]]] = []
-        for stage in config.stages:
+        for stage_index, stage in enumerate(config.stages):
             context = self._stage_context(stage, profile)
             demands: list[tuple[TaskDemand, float]] = []
-            for task in stage.tasks:
-                if task is Task.IN:
-                    continue  # handled through index_ops below
-                demand = self.task_model.demand(
-                    task,
-                    1,
-                    key_size=profile.avg_key_size,
-                    value_size=profile.avg_value_size,
-                    get_ratio=profile.get_ratio,
-                    context=context,
-                )
-                demands.append((demand, demand.count))
-            multipliers = {
-                IndexOp.SEARCH: profile.get_ratio,
-                IndexOp.INSERT: profile.set_ratio,
-                IndexOp.DELETE: profile.set_ratio,
-            }
-            for op in stage.index_ops:
-                demand = self.task_model.index_demand(
-                    op,
-                    1.0,
-                    search_buckets=search_buckets,
-                    insert_buckets=insert_buckets,
-                )
-                demands.append((demand, multipliers[op]))
+            for phase in plan.stage_phases(stage_index):
+                if phase.kind is PhaseKind.INDEX_OP:
+                    demand = self.task_model.index_demand(
+                        phase.op,
+                        1.0,
+                        search_buckets=search_buckets,
+                        insert_buckets=insert_buckets,
+                    )
+                    demands.append((demand, multipliers[phase.op]))
+                else:
+                    demand = self.task_model.demand(
+                        phase.task,
+                        1,
+                        key_size=profile.avg_key_size,
+                        value_size=profile.avg_value_size,
+                        get_ratio=profile.get_ratio,
+                        context=context,
+                    )
+                    demands.append((demand, demand.count))
             per_stage.append(demands)
         if len(self._template_cache) > 512:
             self._template_cache.clear()
@@ -305,12 +314,11 @@ class PipelineAnalyzer:
         accesses = 0.0
         stealable_ns = 0.0
         index_times: dict[IndexOp, float] = {}
-        index_iter = iter(stage.index_ops)
         for demand in demands:
             count = int(round(demand.count))
             if count <= 0:
-                if demand.task is Task.IN:
-                    index_times[next(index_iter)] = 0.0
+                if demand.op is not None:
+                    index_times[demand.op] = 0.0
                 continue
             if stage.processor is ProcessorKind.CPU:
                 time_ns = cpu_task_time_ns(
@@ -335,8 +343,8 @@ class PipelineAnalyzer:
             accesses += demand.total_memory_accesses
             if demand.task in GPU_ELIGIBLE_TASKS or demand.task is Task.IN:
                 stealable_ns += time_ns
-            if demand.task is Task.IN:
-                index_times[next(index_iter)] = time_ns
+            if demand.op is not None:
+                index_times[demand.op] = time_ns
         return StageTime(
             stage=stage,
             time_ns=total_ns,
@@ -680,6 +688,7 @@ def replace_count(demand: TaskDemand, count: float) -> TaskDemand:
         instructions=demand.instructions,
         pattern=demand.pattern,
         atomic=demand.atomic,
+        op=demand.op,
     )
 
 

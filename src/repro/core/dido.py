@@ -66,6 +66,10 @@ class DidoSystem:
         The periodical scheduler's latency limit (paper: 1,000 us).
     work_stealing:
         Enable work stealing in planned configurations.
+    engine:
+        Functional execution backend ("auto"/None, "serial", "stealing",
+        "reference", or a backend instance); forwarded to
+        :class:`~repro.pipeline.functional.FunctionalPipeline`.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class DidoSystem:
         expected_objects: int = 1 << 16,
         latency_budget_ns: float = 1_000_000.0,
         work_stealing: bool = True,
+        engine=None,
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
@@ -86,7 +91,9 @@ class DidoSystem:
             platform, latency_budget_ns, work_stealing=work_stealing
         )
         self.executor = PipelineExecutor(platform)
-        self.pipeline = FunctionalPipeline(self.store, epoch_source=lambda: self.profiler.epoch)
+        self.pipeline = FunctionalPipeline(
+            self.store, epoch_source=lambda: self.profiler.epoch, engine=engine
+        )
         self.latency_budget_ns = latency_budget_ns
         self._batches = 0
         self._queries = 0

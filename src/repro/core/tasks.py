@@ -205,6 +205,9 @@ class TaskDemand:
     ``count`` is how many executions the batch triggers (e.g. MM runs once
     per SET, not per query).  ``instructions`` and ``pattern`` are per
     execution.  ``atomic`` marks compare-exchange-heavy work (GPU penalty).
+    ``op`` identifies which index operation an IN demand covers (None for
+    whole-task demands), so stage-time accounting never relies on list
+    positions to pair demands with operations.
     """
 
     task: Task
@@ -212,6 +215,7 @@ class TaskDemand:
     instructions: float
     pattern: AccessPattern
     atomic: bool = False
+    op: IndexOp | None = None
 
     @property
     def total_memory_accesses(self) -> float:
@@ -328,12 +332,12 @@ class TaskModel:
         c = self.constants
         if op is IndexOp.SEARCH:
             pattern = AccessPattern(search_buckets, c.index_cache_per_op)
-            return TaskDemand(Task.IN, count, c.search_instr, pattern)
+            return TaskDemand(Task.IN, count, c.search_instr, pattern, op=op)
         if op is IndexOp.DELETE:
             pattern = AccessPattern(search_buckets, c.index_cache_per_op)
-            return TaskDemand(Task.IN, count, c.delete_instr, pattern, atomic=True)
+            return TaskDemand(Task.IN, count, c.delete_instr, pattern, atomic=True, op=op)
         pattern = AccessPattern(insert_buckets, c.index_cache_per_op * 2)
-        return TaskDemand(Task.IN, count, c.insert_instr, pattern, atomic=True)
+        return TaskDemand(Task.IN, count, c.insert_instr, pattern, atomic=True, op=op)
 
     # ----------------------------------------------------------- individual
 

@@ -1,0 +1,126 @@
+"""BatchPlane: columnar (struct-of-arrays) state for one batch.
+
+The original functional pipeline threaded a ``_QueryContext`` object per
+query through each task method — one Python call per query per phase.  The
+BatchPlane turns the batch sideways: parallel arrays of query types, keys,
+candidate lists, heap locations, values and response slots, indexed by the
+query's position in the batch.  Engines then execute each compiled phase as
+one tight loop over the relevant index subset (Mega-KV-style staged batch
+kernels over columnar state), with the per-query-type subsets
+(``get_indices`` etc.) computed once at batch intake.
+
+SET bookkeeping mirrors the per-query design exactly:
+
+* ``pending_inserts[i]`` is the (key, location) the MM pass produced for a
+  SET, consumed by the Insert pass;
+* ``pending_deletes[i]`` lists stale index entries (displaced by query
+  ``i``'s allocation) with the entry's location, so a Delete cannot remove
+  a freshly inserted entry for the same key;
+* ``batch_inserts`` maps key -> index of the *last* SET of that key whose
+  Insert is still pending, enabling batch-local dedup: when one key is SET
+  several times in a batch, only the last version's Insert reaches the
+  index (earlier versions were never inserted, so they need no Delete
+  either).  Without this, a hot Zipf key could stack enough identical
+  signatures in one batch to overflow its cuckoo buckets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import SimulationError
+from repro.kv.protocol import Query, QueryType, Response
+
+#: Shared empty candidate list sentinel (never mutated; KC only reads it).
+NO_CANDIDATES: tuple[int, ...] = ()
+
+
+class BatchPlane:
+    """Struct-of-arrays scratch state for one batch of queries."""
+
+    __slots__ = (
+        "queries",
+        "size",
+        "qtypes",
+        "keys",
+        "set_values",
+        "candidates",
+        "locations",
+        "read_values",
+        "responses",
+        "pending_inserts",
+        "pending_deletes",
+        "batch_inserts",
+        "get_indices",
+        "set_indices",
+        "delete_indices",
+        "search_indices",
+        "mutation_indices",
+        "all_indices",
+    )
+
+    def __init__(self, queries: list[Query]):
+        self.queries = queries
+        n = len(queries)
+        self.size = n
+        qtypes = self.qtypes = [q.qtype for q in queries]
+        self.keys = [q.key for q in queries]
+        self.set_values = [q.value for q in queries]
+        self.candidates: list = [NO_CANDIDATES] * n
+        self.locations: list[int | None] = [None] * n
+        self.read_values: list[bytes | None] = [None] * n
+        self.responses: list[Response | None] = [None] * n
+        self.pending_inserts: list[tuple[bytes, int] | None] = [None] * n
+        self.pending_deletes: list[list[tuple[bytes, int | None]] | None] = [None] * n
+        self.batch_inserts: dict[bytes, int] = {}
+        get_indices: list[int] = []
+        set_indices: list[int] = []
+        delete_indices: list[int] = []
+        search_indices: list[int] = []
+        mutation_indices: list[int] = []
+        get_type, set_type = QueryType.GET, QueryType.SET
+        for i, qtype in enumerate(qtypes):
+            if qtype is get_type:
+                get_indices.append(i)
+                search_indices.append(i)
+            elif qtype is set_type:
+                set_indices.append(i)
+                mutation_indices.append(i)
+            else:
+                delete_indices.append(i)
+                search_indices.append(i)
+                mutation_indices.append(i)
+        #: GET queries (KC/RD consumers).
+        self.get_indices = get_indices
+        #: SET queries (MM/Insert producers).
+        self.set_indices = set_indices
+        #: DELETE queries.
+        self.delete_indices = delete_indices
+        #: Queries the index Search pass touches (GET and DELETE).
+        self.search_indices = search_indices
+        #: Queries the index Delete pass touches (DELETE queries answer
+        #: here; SET queries flush their displaced-entry deletes).
+        self.mutation_indices = mutation_indices
+        #: Every query (the WR pass).
+        self.all_indices = range(n)
+
+    def take_responses(self) -> list[Response]:
+        """The completed response column; raises if any slot is empty."""
+        responses = self.responses
+        if any(r is None for r in responses):
+            raise SimulationError("a query completed the pipeline without a response")
+        return responses  # type: ignore[return-value]
+
+
+def indices_between(indices, start: int, stop: int):
+    """The subset of a sorted index list falling in ``[start, stop)``.
+
+    Used by the stealing engine to intersect a phase's applicable queries
+    with one claimed tag-array chunk.  Accepts a ``range`` (the WR pass's
+    all-queries set) or a sorted list.
+    """
+    if isinstance(indices, range):
+        return range(max(indices.start, start), min(indices.stop, stop))
+    lo = bisect_left(indices, start)
+    hi = bisect_left(indices, stop)
+    return indices[lo:hi]

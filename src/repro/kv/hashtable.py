@@ -112,6 +112,11 @@ class CuckooHashTable:
         self._versions = [0] * size
         self._count = 0
         self.stats = IndexStats()
+        # Probe specs are a pure function of the key and the (fixed) table
+        # geometry, so they can be cached indefinitely; bounded to keep the
+        # footprint predictable under unbounded key universes.
+        self._probe_cache: dict[bytes, tuple[int, list[int]]] = {}
+        self._probe_cache_cap = 1 << 17
 
     # ------------------------------------------------------------------ info
 
@@ -159,6 +164,30 @@ class CuckooHashTable:
         """All bucket indices where ``key`` may reside, in probe order."""
         return [self._bucket_index(key, i) for i in range(self._num_hashes)]
 
+    def probe(self, key: bytes) -> tuple[int, list[int]]:
+        """Precomputed probe spec: ``(signature, candidate bucket indices)``.
+
+        The batch engine computes this once per distinct key per batch (as
+        Mega-KV computes signatures during packet processing and ships them
+        with the job) and feeds the ``*_prehashed`` operations, instead of
+        re-hashing the key inside every index operation.
+        """
+        return key_signature(key), self.candidate_buckets(key)
+
+    def probe_cached(self, key: bytes) -> tuple[int, list[int]]:
+        """:meth:`probe` through the table's persistent probe cache.
+
+        Hot keys under skewed workloads recur across batches; caching their
+        probe specs makes repeat index operations hash-free.
+        """
+        cache = self._probe_cache
+        spec = cache.get(key)
+        if spec is None:
+            if len(cache) >= self._probe_cache_cap:
+                cache.clear()
+            spec = cache[key] = self.probe(key)
+        return spec
+
     # ------------------------------------------------------------ operations
 
     def search(self, key: bytes) -> tuple[list[int], int]:
@@ -171,19 +200,60 @@ class CuckooHashTable:
         matching signature, modelling the short-circuit a real
         implementation performs.
         """
-        signature = key_signature(key)
+        return self.search_prehashed(key_signature(key), self.candidate_buckets(key))
+
+    def search_prehashed(self, signature: int, buckets: list[int]) -> tuple[list[int], int]:
+        """:meth:`search` with the key's probe spec already computed."""
         candidates: list[int] = []
         buckets_read = 0
-        for bucket_idx in self.candidate_buckets(key):
+        table = self._buckets
+        for bucket_idx in buckets:
             buckets_read += 1
-            bucket = self._buckets[bucket_idx]
-            found = [s.location for s in bucket if s.location != EMPTY and s.signature == signature]
+            found = [
+                s.location
+                for s in table[bucket_idx]
+                if s.location != EMPTY and s.signature == signature
+            ]
             if found:
                 candidates.extend(found)
                 break
-        self.stats.searches += 1
-        self.stats.search_bucket_reads += buckets_read
+        stats = self.stats
+        stats.searches += 1
+        stats.search_bucket_reads += buckets_read
         return candidates, buckets_read
+
+    def multi_search(self, keys: list[bytes]) -> list[list[int]]:
+        """Bulk search: candidate locations per key, in input order.
+
+        One tight loop inside the table (probe specs via the persistent
+        cache, stats updated in aggregate); each element is exactly what
+        ``search(key)[0]`` would return.
+        """
+        probe = self.probe_cached
+        table = self._buckets
+        out: list[list[int]] = []
+        append = out.append
+        total_reads = 0
+        for key in keys:
+            signature, buckets = probe(key)
+            candidates: list[int] = []
+            buckets_read = 0
+            for bucket_idx in buckets:
+                buckets_read += 1
+                found = [
+                    s.location
+                    for s in table[bucket_idx]
+                    if s.location != EMPTY and s.signature == signature
+                ]
+                if found:
+                    candidates.extend(found)
+                    break
+            total_reads += buckets_read
+            append(candidates)
+        stats = self.stats
+        stats.searches += len(keys)
+        stats.search_bucket_reads += total_reads
+        return out
 
     def insert(self, key: bytes, location: int) -> int:
         """Insert ``key -> location``; returns buckets written.
@@ -196,17 +266,22 @@ class CuckooHashTable:
         """
         if location < 0:
             raise ConfigurationError("location must be a non-negative slab offset")
-        signature = key_signature(key)
+        return self.insert_prehashed(key_signature(key), self.candidate_buckets(key), location)
+
+    def insert_prehashed(self, signature: int, buckets: list[int], location: int) -> int:
+        """:meth:`insert` with the key's probe spec already computed."""
+        if location < 0:
+            raise ConfigurationError("location must be a non-negative slab offset")
         self.stats.inserts += 1
-        writes = self._insert_signature(signature, location, key)
+        writes = self._insert_signature(signature, location, buckets)
         self.stats.insert_bucket_writes += writes
         self._count += 1
         return writes
 
-    def _insert_signature(self, signature: int, location: int, key: bytes) -> int:
+    def _insert_signature(self, signature: int, location: int, candidates: list[int]) -> int:
         writes = 0
         # Try an empty slot in any candidate bucket first.
-        for bucket_idx in self.candidate_buckets(key):
+        for bucket_idx in candidates:
             bucket = self._buckets[bucket_idx]
             for slot in bucket:
                 if slot.location == EMPTY:
@@ -214,7 +289,7 @@ class CuckooHashTable:
                     return writes + 1
             writes += 1  # full bucket examined counts as a touch
         # All candidate buckets full: displace (kick) from the first one.
-        victim_bucket = self.candidate_buckets(key)[0]
+        victim_bucket = candidates[0]
         victim_slot_idx = (signature + location) % self._slots_per_bucket
         carried_sig, carried_loc = signature, location
         for kick in range(self._max_kicks):
@@ -253,9 +328,14 @@ class CuckooHashTable:
         Returns True when an entry was removed.  Probes the same buckets a
         search would.
         """
-        signature = key_signature(key)
+        return self.delete_prehashed(key_signature(key), self.candidate_buckets(key), location)
+
+    def delete_prehashed(
+        self, signature: int, buckets: list[int], location: int | None = None
+    ) -> bool:
+        """:meth:`delete` with the key's probe spec already computed."""
         self.stats.deletes += 1
-        for bucket_idx in self.candidate_buckets(key):
+        for bucket_idx in buckets:
             bucket = self._buckets[bucket_idx]
             for slot in bucket:
                 if slot.location == EMPTY or slot.signature != signature:

@@ -155,6 +155,101 @@ class KVStore:
         """IN/Delete: drop an index entry (for evicted/replaced/deleted keys)."""
         return self.index.delete(key, location)
 
+    # ------------------------------------------------------- bulk primitives
+    # Whole-batch forms of the primitives above, used by the engine layer
+    # (repro.engine): one tight loop inside the store per pipeline phase
+    # instead of one cross-module call per query.  Each is semantically
+    # exactly N applications of its scalar counterpart, in order.
+    #
+    # The index-touching bulk operations route probe specs (signature +
+    # candidate buckets) through the index's persistent probe cache, so a
+    # hot key is hashed once ever rather than once per operation — the
+    # columnar analogue of Mega-KV computing signatures during packet
+    # processing and shipping them with the job.  Alternative index
+    # implementations without the prehashed interface fall back to their
+    # scalar operations, so the engine works against any index.
+
+    def multi_index_search(self, keys: list[bytes]) -> list[list[int]]:
+        """Bulk IN/Search: candidate locations per key, in input order."""
+        multi = getattr(self.index, "multi_search", None)
+        if multi is not None:
+            return multi(keys)
+        search = self.index.search
+        return [search(key)[0] for key in keys]
+
+    def multi_key_compare(
+        self, keys: list[bytes], candidate_lists: list[list[int]]
+    ) -> list[int | None]:
+        """Bulk KC: verify full keys against each query's candidates."""
+        heap_get = self.heap.get
+        false_positives = 0
+        matches: list[int | None] = []
+        append = matches.append
+        for key, candidates in zip(keys, candidate_lists):
+            match: int | None = None
+            for location in candidates:
+                obj = heap_get(location, touch=False)
+                if obj is not None and obj.key == key:
+                    match = location
+                else:
+                    false_positives += 1
+            append(match)
+        self.stats.signature_false_positives += false_positives
+        return matches
+
+    def multi_read_value(
+        self, locations: list[int | None], *, epoch: int = 0
+    ) -> list[bytes | None]:
+        """Bulk RD: value bytes per location (None passes through as a miss)."""
+        heap_get = self.heap.get
+        values: list[bytes | None] = []
+        append = values.append
+        for location in locations:
+            if location is None:
+                append(None)
+                continue
+            obj = heap_get(location)
+            if obj is None:
+                append(None)
+            else:
+                obj.record_access(epoch)
+                append(obj.value)
+        return values
+
+    def multi_allocate(self, items: list[tuple[bytes, bytes]]) -> list[SetOutcome]:
+        """Bulk MM: allocate each (key, value) in order; outcomes per item."""
+        allocate = self.allocate
+        return [allocate(key, value) for key, value in items]
+
+    def multi_index_insert(self, entries: list[tuple[bytes, int]]) -> int:
+        """Bulk IN/Insert: apply entries in order; returns buckets written."""
+        index = self.index
+        probe = getattr(index, "probe_cached", None)
+        if probe is None:
+            insert = index.insert
+            return sum(insert(key, location) for key, location in entries)
+        insert = index.insert_prehashed
+        buckets = 0
+        for key, location in entries:
+            signature, candidates = probe(key)
+            buckets += insert(signature, candidates, location)
+        return buckets
+
+    def multi_index_delete(self, entries: list[tuple[bytes, int | None]]) -> int:
+        """Bulk IN/Delete: apply entries in order; returns entries removed."""
+        index = self.index
+        probe = getattr(index, "probe_cached", None)
+        if probe is None:
+            delete = index.delete
+            return sum(bool(delete(key, location)) for key, location in entries)
+        delete = index.delete_prehashed
+        removed = 0
+        for key, location in entries:
+            signature, candidates = probe(key)
+            if delete(signature, candidates, location):
+                removed += 1
+        return removed
+
     # ------------------------------------------------------- whole operations
 
     def get(self, key: bytes, *, epoch: int = 0) -> bytes | None:

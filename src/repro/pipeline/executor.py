@@ -184,14 +184,12 @@ class PipelineExecutor(PipelineAnalyzer):
             bin_config_label = config.label
             end = now + period
             # Spread this batch's queries across sample bins it overlaps.
-            remaining = estimate.batch_size
             cursor = now
             while cursor < end:
                 bin_end = bin_start + sample_every_ns
                 take_until = min(end, bin_end)
                 share = (take_until - cursor) / period * estimate.batch_size
                 bin_queries += share
-                remaining -= share
                 cursor = take_until
                 if cursor >= bin_end:
                     samples.append(

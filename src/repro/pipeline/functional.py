@@ -11,16 +11,16 @@ paper embeds it per batch), two consecutive batches may run under different
 configurations and still produce correct results; the test suite asserts
 that every legal configuration produces byte-identical responses.
 
-Batch semantics match GPU batch processing: within one batch, each task is
-applied to every query before the next task runs (so all MM allocations
-happen before all index Searches, etc.), exactly as in Mega-KV's staged
-kernels.
-
-When work stealing is enabled, the GPU-eligible span of the bottleneck-ish
-stage is executed by two logical executors ("gpu" owner claiming sets from
-the head, "cpu" helper from the tail) through the
-:class:`~repro.core.work_stealing.TagArray`, demonstrating the exactly-once
-claim discipline functionally.
+Since the engine refactor this class is a thin adapter: stage semantics are
+compiled once by :func:`~repro.engine.plan.compile_stage_plan` (the same
+plan the analytical cost model consumes), batch state lives in a columnar
+:class:`~repro.engine.plane.BatchPlane`, and execution is delegated to an
+engine backend — :class:`~repro.engine.backends.StealingEngine` when the
+config wants work stealing on a GPU stage,
+:class:`~repro.engine.backends.SerialEngine` otherwise, or whatever the
+caller pinned via the ``engine`` parameter.  The pipeline itself only does
+the batch boundaries: frame parsing (PP), batch intake (RV), response
+framing (SD), and telemetry emission.
 """
 
 from __future__ import annotations
@@ -28,37 +28,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.tasks import IndexOp, Task
-from repro.core.work_stealing import TagArray
-from repro.errors import SimulationError
-from repro.telemetry import get_telemetry, stage_span, steal_event
-from repro.kv.protocol import (
-    Query,
-    QueryType,
-    Response,
-    ResponseStatus,
-    decode_queries,
+from repro.core.pipeline_config import PipelineConfig
+from repro.core.tasks import Task
+from repro.engine import (
+    BatchPlane,
+    SerialEngine,
+    StealingEngine,
+    compile_stage_plan,
+    resolve_engine,
 )
+from repro.kv.protocol import Query, Response, ResponseStatus, decode_queries
 from repro.kv.store import KVStore
 from repro.net.packets import Frame, frames_for_responses
-from repro.core.pipeline_config import PipelineConfig
-from repro.hardware.specs import ProcessorKind
-
-
-@dataclass
-class _QueryContext:
-    """Per-query scratch state threaded through the tasks."""
-
-    query: Query
-    candidates: list[int] = field(default_factory=list)
-    location: int | None = None
-    value: bytes | None = None
-    response: Response | None = None
-    # SET bookkeeping produced by MM, consumed by the Insert/Delete ops.
-    # Pending deletes carry the stale entry's location so a Delete cannot
-    # remove a freshly inserted entry for the same key.
-    pending_insert: tuple[bytes, int] | None = None
-    pending_deletes: list[tuple[bytes, int | None]] = field(default_factory=list)
+from repro.telemetry import get_telemetry, stage_span, steal_event
 
 
 @dataclass
@@ -86,12 +68,19 @@ class FunctionalPipeline:
     epoch_source:
         Callable returning the profiler's current sampling epoch, used to
         stamp object access counters; defaults to a constant 0.
+    engine:
+        Execution backend: ``None``/"auto" picks per batch (stealing when
+        the config enables it on a GPU stage, serial otherwise); "serial",
+        "stealing" or "reference" pins a backend; an object with a ``run``
+        method is used as-is.
     """
 
-    def __init__(self, store: KVStore, epoch_source=None):
+    def __init__(self, store: KVStore, epoch_source=None, engine=None):
         self.store = store
         self._epoch_source = epoch_source or (lambda: 0)
-        self._batch_inserts: dict[bytes, _QueryContext] = {}
+        self._engine = resolve_engine(engine)
+        self._serial = SerialEngine()
+        self._stealing = StealingEngine()
         self._batch_counter = 0
         self._pp_hint_us = 0.0
 
@@ -108,47 +97,45 @@ class FunctionalPipeline:
         self._pp_hint_us = (time.perf_counter() - t0) * 1e6
         return self.process_batch(config, queries)
 
+    def _engine_for(self, config: PipelineConfig):
+        """The backend for one batch: pinned engine, else by config."""
+        if self._engine is not None:
+            return self._engine
+        if config.work_stealing and config.gpu_stage is not None:
+            return self._stealing
+        return self._serial
+
     def process_batch(self, config: PipelineConfig, queries: list[Query]) -> BatchResult:
         """Run one batch through every stage of ``config`` in order."""
         telemetry = get_telemetry()
         collect = telemetry.enabled
         pp_us, self._pp_hint_us = self._pp_hint_us, 0.0
-        task_times: dict[Task, float] = {}
+        plan = compile_stage_plan(config)
+        engine = self._engine_for(config)
+        task_times: dict[Task, float] | None = {} if collect else None
         t0 = time.perf_counter() if collect else 0.0
-        contexts = [_QueryContext(q) for q in queries]
+        plane = BatchPlane(queries)
         if collect:
-            # Batch intake (building per-query contexts) is RV's footprint
+            # Batch intake (building the columnar plane) is RV's footprint
             # on this plane; PP's is whatever frame parsing cost upstream.
             task_times[Task.RV] = (time.perf_counter() - t0) * 1e6
             task_times[Task.PP] = pp_us
-        steal_claims: dict[str, int] = {}
-        # Batch-local dedup of pending index Inserts: when one key is SET
-        # several times in a batch, only the last version's Insert reaches
-        # the index (earlier versions were never inserted, so they need no
-        # Delete either).  Without this, a hot Zipf key could stack enough
-        # identical signatures in one batch to overflow its cuckoo buckets.
-        self._batch_inserts: dict[bytes, _QueryContext] = {}
-        for stage in config.stages:
-            use_stealing = (
-                config.work_stealing
-                and stage.processor is ProcessorKind.GPU
-                and len(contexts) > 0
-            )
-            if use_stealing:
-                claims = self._run_stage_with_stealing(stage, contexts, task_times if collect else None)
-                for owner, count in claims.items():
-                    steal_claims[owner] = steal_claims.get(owner, 0) + count
-            else:
-                self._run_stage(stage, contexts, range(len(contexts)), task_times if collect else None)
-        responses = [ctx.response for ctx in contexts]
-        if any(r is None for r in responses):
-            raise SimulationError("a query completed the pipeline without a response")
+        steal_claims = engine.run(
+            self.store,
+            plan,
+            plane,
+            epoch=self._epoch_source(),
+            task_times=task_times,
+        )
+        responses = plane.take_responses()
         t_send = time.perf_counter() if collect else 0.0
         frames = frames_for_responses(responses)
         self._batch_counter += 1
         if collect:
             task_times[Task.SD] = (time.perf_counter() - t_send) * 1e6
-            self._emit_batch(telemetry, config, task_times, steal_claims, len(queries))
+            self._emit_batch(
+                telemetry, config, engine, task_times, steal_claims, len(queries)
+            )
         return BatchResult(
             responses=responses,
             frames=frames,
@@ -160,6 +147,7 @@ class FunctionalPipeline:
         self,
         telemetry,
         config: PipelineConfig,
+        engine,
         task_times: dict[Task, float],
         steal_claims: dict[str, int],
         num_queries: int,
@@ -196,183 +184,7 @@ class FunctionalPipeline:
         telemetry.registry.counter(
             "repro_pipeline_queries_total", help="Queries through the functional pipeline"
         ).inc(num_queries)
-
-    # --------------------------------------------------------------- stages
-
-    #: Execution order of index operations within a stage: stale-entry
-    #: Deletes first, then Inserts, then Searches — so a GET in the same
-    #: batch as its SET observes the new entry (batch read-your-write).
-    _OP_PRIORITY = {IndexOp.DELETE: 0, IndexOp.INSERT: 1, IndexOp.SEARCH: 2}
-
-    def _stage_phases(self, stage) -> list:
-        """The stage's work as ordered ``(task, phase)`` whole-batch passes.
-
-        Each phase is a callable over query indices, tagged with the task it
-        belongs to so per-task spans can be attributed.  Batch semantics: a
-        phase is applied to every query (across all steal chunks) before the
-        next phase starts, exactly like Mega-KV's staged kernels.
-        """
-        op_passes = {
-            IndexOp.SEARCH: self._op_search,
-            IndexOp.INSERT: self._op_insert,
-            IndexOp.DELETE: self._op_delete,
-        }
-        phases: list = []
-        for task in stage.tasks:
-            if task in (Task.RV, Task.PP, Task.SD):
-                continue  # handled at batch entry/exit; timing-only here
-            if task is Task.MM:
-                phases.append((task, self._task_mm))
-                # Insert/Delete reassigned to this CPU stage run right
-                # after their producer (MM); Search never lives here
-                # without the IN task.
-                if Task.IN not in stage.tasks:
-                    for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
-                        if op is not IndexOp.SEARCH:
-                            phases.append((task, op_passes[op]))
-            elif task is Task.IN:
-                for op in sorted(stage.index_ops, key=self._OP_PRIORITY.__getitem__):
-                    phases.append((task, op_passes[op]))
-            elif task is Task.KC:
-                phases.append((task, self._task_kc))
-            elif task is Task.RD:
-                phases.append((task, self._task_rd))
-            elif task is Task.WR:
-                phases.append((task, self._task_wr))
-        return phases
-
-    @staticmethod
-    def _credit(task_times: dict[Task, float] | None, task: Task, t0: float) -> None:
-        """Add the elapsed time since ``t0`` to ``task``'s running total."""
-        if task_times is not None:
-            elapsed_us = (time.perf_counter() - t0) * 1e6
-            task_times[task] = task_times.get(task, 0.0) + elapsed_us
-
-    def _run_stage(
-        self,
-        stage,
-        contexts: list[_QueryContext],
-        indices,
-        task_times: dict[Task, float] | None = None,
-    ) -> None:
-        """Execute a stage's phases over the selected query indices."""
-        for task, phase in self._stage_phases(stage):
-            t0 = time.perf_counter() if task_times is not None else 0.0
-            for i in indices:
-                phase(contexts[i])
-            self._credit(task_times, task, t0)
-
-    def _run_stage_with_stealing(
-        self,
-        stage,
-        contexts,
-        task_times: dict[Task, float] | None = None,
-    ) -> dict[str, int]:
-        """Split each phase's queries between owner and helper via tags.
-
-        Chunking happens *within* a phase: every claim set of one phase is
-        processed before the next phase starts, so stealing cannot reorder
-        passes and results are identical to the unstolen execution.
-        """
-        claims = {"gpu": 0, "cpu": 0}
-        for task, phase in self._stage_phases(stage):
-            t0 = time.perf_counter() if task_times is not None else 0.0
-            tags = TagArray(len(contexts))
-            # Deterministic interleave: the owner takes two sets for each
-            # one the helper steals (a stand-in for the runtime race;
-            # correctness does not depend on the split).
-            turn = 0
-            while True:
-                if turn % 3 == 2:
-                    claimed = tags.claim_next("cpu", reverse=True)
-                    owner = "cpu"
-                else:
-                    claimed = tags.claim_next("gpu")
-                    owner = "gpu"
-                if claimed is None:
-                    break
-                claims[owner] += 1
-                for i in claimed:
-                    phase(contexts[i])
-                turn += 1
-            self._credit(task_times, task, t0)
-        return claims
-
-    # ---------------------------------------------------------------- tasks
-
-    def _task_mm(self, ctx: _QueryContext) -> None:
-        if ctx.query.qtype is not QueryType.SET:
-            return
-        outcome = self.store.allocate(ctx.query.key, ctx.query.value)
-        ctx.location = outcome.location
-        ctx.pending_insert = (ctx.query.key, outcome.location)
-        if outcome.replaced is not None:
-            self._displaced(ctx, ctx.query.key, outcome.replaced_location)
-        if outcome.evicted is not None:
-            self._displaced(ctx, outcome.evicted.key, outcome.evicted_location)
-        self._batch_inserts[ctx.query.key] = ctx
-
-    def _displaced(self, ctx: _QueryContext, key: bytes, location: int | None) -> None:
-        """Record index cleanup for a displaced object.
-
-        If the displaced version was itself SET earlier in this batch, its
-        Insert has not executed yet — cancel it instead of queueing a
-        Delete for an entry that will never exist.
-        """
-        earlier = self._batch_inserts.pop(key, None)
-        if earlier is not None and earlier.pending_insert is not None:
-            earlier.pending_insert = None
-        else:
-            ctx.pending_deletes.append((key, location))
-
-    def _op_search(self, ctx: _QueryContext) -> None:
-        if ctx.query.qtype is QueryType.GET:
-            ctx.candidates = self.store.index_search(ctx.query.key)
-        elif ctx.query.qtype is QueryType.DELETE:
-            ctx.candidates = self.store.index_search(ctx.query.key)
-
-    def _op_insert(self, ctx: _QueryContext) -> None:
-        if ctx.pending_insert is None:
-            return
-        key, location = ctx.pending_insert
-        self.store.index_insert(key, location)
-        ctx.pending_insert = None
-
-    def _op_delete(self, ctx: _QueryContext) -> None:
-        if ctx.query.qtype is QueryType.DELETE:
-            # Cancel any not-yet-executed Insert for this key from earlier
-            # in the batch (its entry must never appear).
-            earlier = self._batch_inserts.pop(ctx.query.key, None)
-            if earlier is not None:
-                earlier.pending_insert = None
-            removed = self.store.delete(ctx.query.key)
-            ctx.response = Response(
-                ResponseStatus.DELETED if removed else ResponseStatus.NOT_FOUND
-            )
-            return
-        for key, location in ctx.pending_deletes:
-            self.store.index_delete(key, location)
-        ctx.pending_deletes.clear()
-
-    def _task_kc(self, ctx: _QueryContext) -> None:
-        if ctx.query.qtype is not QueryType.GET:
-            return
-        ctx.location = self.store.key_compare(ctx.query.key, ctx.candidates)
-
-    def _task_rd(self, ctx: _QueryContext) -> None:
-        if ctx.query.qtype is not QueryType.GET or ctx.location is None:
-            return
-        ctx.value = self.store.read_value(ctx.location, epoch=self._epoch_source())
-
-    def _task_wr(self, ctx: _QueryContext) -> None:
-        if ctx.response is not None:
-            return  # DELETE already answered
-        if ctx.query.qtype is QueryType.GET:
-            if ctx.value is None:
-                ctx.response = Response(ResponseStatus.NOT_FOUND)
-            else:
-                ctx.response = Response(ResponseStatus.OK, ctx.value)
-        elif ctx.query.qtype is QueryType.SET:
-            ctx.response = Response(ResponseStatus.STORED)
-        else:
-            ctx.response = Response(ResponseStatus.NOT_FOUND)
+        telemetry.registry.counter(
+            "repro_engine_batches_total",
+            help="Functional batches executed, by engine backend",
+        ).inc(engine=engine.name)

@@ -75,6 +75,10 @@ class DidoUDPServer:
         default-sized one is created if omitted.
     batch_window_s:
         Coalescing window: datagrams arriving within it form one batch.
+    engine:
+        Functional execution backend for the default-created system (see
+        :class:`~repro.pipeline.functional.FunctionalPipeline`); ignored
+        when an explicit ``system`` is passed.
     """
 
     def __init__(
@@ -82,11 +86,12 @@ class DidoUDPServer:
         address: tuple[str, int] = ("127.0.0.1", 0),
         system: DidoSystem | None = None,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        engine=None,
     ):
         if batch_window_s < 0:
             raise ConfigurationError("batch window must be non-negative")
         self.system = system or DidoSystem(
-            memory_bytes=64 << 20, expected_objects=65536
+            memory_bytes=64 << 20, expected_objects=65536, engine=engine
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.bind(address)

@@ -112,6 +112,31 @@ class TestTimeline:
         labels = {p.config_label for p in points}
         assert len(labels) == 2
 
+    def test_binned_query_mass_is_conserved(self, ex):
+        """Every query of every simulated batch lands in exactly one bin.
+
+        Regression guard for the timeline's bin-spreading loop: summing the
+        binned query mass (throughput x bin width) must reproduce
+        batches x batch_size exactly — no queries dropped, none counted
+        twice, independent of how batch periods straddle bin edges.
+        """
+        import math
+
+        config = megakv_coupled_config()
+        profile = profile_for("K16-G95-S")
+        duration_ns, sample_every_ns = 3e6, 2.5e5
+        estimate = ex.estimate(config, profile, 1_000_000.0)
+        period = max(estimate.tmax_ns, 1.0)
+        batches = math.ceil(duration_ns / period)
+
+        points = ex.run_timeline(
+            lambda now: (config, profile),
+            duration_ns=duration_ns,
+            sample_every_ns=sample_every_ns,
+        )
+        binned_mass = sum(p.throughput_mops * sample_every_ns / 1000.0 for p in points)
+        assert binned_mass == pytest.approx(batches * estimate.batch_size, rel=1e-9)
+
     def test_rejects_nonpositive_duration(self, ex):
         with pytest.raises(SimulationError):
             ex.run_timeline(lambda now: (megakv_coupled_config(), profile_for("K8-G95-U")), 0.0)

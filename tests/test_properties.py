@@ -219,6 +219,53 @@ def test_hot_fraction_conserves_accesses(mem, cache, hot):
     assert q.memory_accesses <= mem + 1e-12
 
 
+# -------------------------------------------------------------------- engine
+
+
+#: Small key pool so random batches hit the interesting collisions: SET
+#: followed by GET/DELETE of the same key in one batch, repeated SETs
+#: (batch-local insert dedup), DELETE of a key SET earlier in the batch.
+engine_keys = st.sampled_from([b"a", b"b", b"hot", b"k-1", b"k-2", b"longer-key"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(gpu_segments()),
+    st.booleans(),
+    st.lists(
+        st.tuples(st.sampled_from(list(QueryType)), engine_keys, values),
+        max_size=60,
+    ),
+)
+def test_engine_matches_reference_for_any_config_and_batch(segment, stealing, raw):
+    """Property: for every legal pipeline configuration, the columnar
+    engine produces byte-identical response frames (and identical store
+    statistics) to the preserved per-query reference path."""
+    from repro.core.pipeline_config import PipelineConfig as PC
+    from repro.pipeline.functional import FunctionalPipeline
+
+    config = PC.assemble(
+        segment,
+        total_cpu_cores=4,
+        work_stealing=stealing and bool(segment),
+    )
+    queries = [
+        Query(qtype, key, value if qtype is QueryType.SET else b"")
+        for qtype, key, value in raw
+    ]
+
+    def run(engine):
+        store = KVStore(memory_bytes=4 << 20, expected_objects=2048)
+        pipeline = FunctionalPipeline(store, engine=engine)
+        result = pipeline.process_batch(config, queries)
+        return b"".join(f.payload for f in result.frames), store.stats
+
+    reference_frames, reference_stats = run("reference")
+    columnar_frames, columnar_stats = run(None)
+    assert columnar_frames == reference_frames
+    assert columnar_stats == reference_stats
+
+
 # ------------------------------------------------------------------- configs
 
 
