@@ -1,17 +1,21 @@
-"""Functional-plane throughput: columnar engine vs per-query dispatch.
+"""Functional-plane throughput: engine backends vs per-query dispatch.
 
 Runs a YCSB-style query stream through the functional pipeline under each
-canonical pipeline configuration, once with the batch-columnar engine the
-pipeline now uses (serial or stealing, per config) and once with the
-:class:`~repro.engine.reference.ReferenceEngine` — the pre-refactor
-per-query execution path preserved as the baseline.  Asserts the two
-engines produce byte-identical response frames, reports queries/sec and
-speedup per configuration, and writes ``BENCH_functional.json``.
+canonical pipeline configuration with every functional backend — the
+:class:`~repro.engine.reference.ReferenceEngine` (the pre-refactor
+per-query path, kept as baseline), the auto-picked columnar engine
+(serial/stealing per config), the NumPy
+:class:`~repro.engine.vector.VectorEngine`, and the
+:class:`~repro.engine.sharded.ShardedEngine` over a 4-way
+:class:`~repro.kv.sharding.ShardedKVStore`.  Asserts every backend
+produces byte-identical response frames, reports queries/sec and speedups,
+and writes ``BENCH_functional.json``.
 
 Standalone (not a pytest benchmark): run as
 
     PYTHONPATH=src python benchmarks/bench_functional_throughput.py \
-        [--batch-size 4096] [--batches 8] [--repeat 3] [--out BENCH_functional.json]
+        [--batch-size 4096] [--batches 8] [--repeat 3] [--shards 4] \
+        [--out BENCH_functional.json]
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ import time
 
 from repro.core.pipeline_config import PipelineConfig
 from repro.core.tasks import Task
+from repro.engine import ShardedEngine
+from repro.kv.sharding import ShardedKVStore
 from repro.kv.store import KVStore
 from repro.pipeline.functional import FunctionalPipeline
 from repro.pipeline.megakv import megakv_coupled_config
@@ -69,13 +75,16 @@ def make_batches(batch_size: int, batches: int, seed: int) -> list:
     return [stream.next_batch(batch_size) for _ in range(batches)]
 
 
-def run_engine(engine, config, batches) -> tuple[float, list[bytes]]:
+def run_engine(engine, config, batches, shards: int = 1) -> tuple[float, list[bytes]]:
     """Process all batches on a fresh store; returns (seconds, frame bytes).
 
-    Store construction happens outside the timed region — both engines pay
+    Store construction happens outside the timed region — all engines pay
     it equally and it is not query processing.
     """
-    store = KVStore(64 << 20, 40_000)
+    if shards > 1:
+        store = ShardedKVStore(64 << 20, 40_000, shards)
+    else:
+        store = KVStore(64 << 20, 40_000)
     pipeline = FunctionalPipeline(store, engine=engine)
     outputs: list[bytes] = []
     t0 = time.perf_counter()
@@ -86,27 +95,39 @@ def run_engine(engine, config, batches) -> tuple[float, list[bytes]]:
     return elapsed, outputs
 
 
-def bench_config(name, config, batches, repeat, total_queries):
-    best = {"reference": float("inf"), "columnar": float("inf")}
-    reference_frames = columnar_frames = None
+def bench_config(name, config, batches, repeat, total_queries, shards, sharded_engine):
+    """One canonical config across every backend; asserts byte-identity."""
+    contenders = {
+        "reference": ("reference", 1),
+        "columnar": (None, 1),
+        "serial": ("serial", 1),
+        "vector": ("vector", 1),
+        "sharded": (sharded_engine, shards),
+    }
+    best = {label: float("inf") for label in contenders}
+    frames: dict[str, list[bytes]] = {}
     for _ in range(repeat):
-        elapsed, reference_frames = run_engine("reference", config, batches)
-        best["reference"] = min(best["reference"], elapsed)
-        elapsed, columnar_frames = run_engine(None, config, batches)
-        best["columnar"] = min(best["columnar"], elapsed)
-    if reference_frames != columnar_frames:
-        raise AssertionError(
-            f"{name}: columnar engine responses differ from the reference engine"
-        )
-    ref_qps = total_queries / best["reference"]
-    col_qps = total_queries / best["columnar"]
+        for label, (engine, engine_shards) in contenders.items():
+            elapsed, frames[label] = run_engine(engine, config, batches, engine_shards)
+            best[label] = min(best[label], elapsed)
+    for label in contenders:
+        if frames[label] != frames["reference"]:
+            raise AssertionError(
+                f"{name}: {label} engine responses differ from the reference engine"
+            )
+    qps = {label: total_queries / seconds for label, seconds in best.items()}
     return {
         "config": name,
         "pipeline": config.label,
         "queries": total_queries,
-        "reference_qps": round(ref_qps),
-        "columnar_qps": round(col_qps),
-        "speedup": round(col_qps / ref_qps, 3),
+        "reference_qps": round(qps["reference"]),
+        "columnar_qps": round(qps["columnar"]),
+        "serial_qps": round(qps["serial"]),
+        "vector_qps": round(qps["vector"]),
+        "sharded_qps": round(qps["sharded"]),
+        "speedup": round(qps["columnar"] / qps["reference"], 3),
+        "vector_speedup_vs_serial": round(qps["vector"] / qps["serial"], 3),
+        "sharded_speedup_vs_serial": round(qps["sharded"] / qps["serial"], 3),
         "byte_identical": True,
     }
 
@@ -117,29 +138,46 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batches", type=int, default=8)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--out", default="BENCH_functional.json")
     args = parser.parse_args(argv)
 
     batches = make_batches(args.batch_size, args.batches, args.seed)
     total_queries = args.batch_size * args.batches
+    sharded_engine = ShardedEngine()
     results = []
-    for name, config in canonical_configs():
-        row = bench_config(name, config, batches, args.repeat, total_queries)
-        results.append(row)
-        print(
-            f"{name:24s} ref={row['reference_qps']:>9,} q/s  "
-            f"columnar={row['columnar_qps']:>9,} q/s  "
-            f"speedup={row['speedup']:.2f}x",
-            flush=True,
-        )
+    try:
+        for name, config in canonical_configs():
+            row = bench_config(
+                name, config, batches, args.repeat, total_queries,
+                args.shards, sharded_engine,
+            )
+            results.append(row)
+            print(
+                f"{name:24s} ref={row['reference_qps']:>9,} q/s  "
+                f"vector={row['vector_qps']:>9,} q/s "
+                f"({row['vector_speedup_vs_serial']:.2f}x serial)  "
+                f"sharded={row['sharded_qps']:>9,} q/s "
+                f"({row['sharded_speedup_vs_serial']:.2f}x serial)",
+                flush=True,
+            )
+    finally:
+        sharded_engine.close()
 
     payload = {
         "workload": WORKLOAD,
         "batch_size": args.batch_size,
         "batches": args.batches,
+        "shards": args.shards,
         "results": results,
         "mean_speedup": round(
             sum(r["speedup"] for r in results) / len(results), 3
+        ),
+        "mean_vector_speedup_vs_serial": round(
+            sum(r["vector_speedup_vs_serial"] for r in results) / len(results), 3
+        ),
+        "mean_sharded_speedup_vs_serial": round(
+            sum(r["sharded_speedup_vs_serial"] for r in results) / len(results), 3
         ),
     }
     with open(args.out, "w", encoding="utf-8") as fh:

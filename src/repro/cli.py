@@ -10,8 +10,10 @@ Commands
 ``figures [IDS ...]``
     Regenerate paper figures (e.g. ``fig11 fig15``; default: the quick ones)
     and print their tables.
-``serve [--host H] [--port P] [--engine NAME]``
-    Run a real UDP key-value server backed by an adaptive DIDO system.
+``serve [--host H] [--port P] [--engine NAME] [--shards N]
+[--batch-size N] [--coalesce-us US]``
+    Run a real UDP key-value server backed by an adaptive DIDO system,
+    with adaptive batch coalescing (size target or deadline).
 ``workloads``
     List the 24 standard paper workloads.
 ``telemetry [--export jsonl|prom|summary]``
@@ -220,8 +222,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         memory_bytes=args.memory_mb << 20,
         expected_objects=args.expected_objects,
         engine=args.engine,
+        shards=args.shards,
     )
-    server = DidoUDPServer((args.host, args.port), system=system)
+    server = DidoUDPServer(
+        (args.host, args.port),
+        system=system,
+        batch_size=args.batch_size,
+        coalesce_us=args.coalesce_us,
+    )
     host, port = server.address
     print(f"serving on {host}:{port} (Ctrl-C to stop)")
     try:
@@ -253,7 +261,10 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
     telemetry = configure(enabled=True)
     system = DidoSystem(
-        memory_bytes=64 << 20, expected_objects=40_000, engine=args.engine
+        memory_bytes=64 << 20,
+        expected_objects=40_000,
+        engine=args.engine,
+        shards=args.shards,
     )
     for label in _TELEMETRY_PHASES:
         stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
@@ -315,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_NAMES, default="auto",
         help="functional execution backend (default: auto)",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the store across N shards (default: 1)",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=4096,
+        help="dispatch a batch once it holds this many queries (default: 4096)",
+    )
+    p.add_argument(
+        "--coalesce-us", type=float, default=None, metavar="US",
+        help="coalescing deadline in microseconds (default: 2000)",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_serve)
 
@@ -331,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", choices=ENGINE_NAMES, default="auto",
         help="functional execution backend (default: auto)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the store across N shards (default: 1)",
     )
     p.set_defaults(func=cmd_telemetry)
 

@@ -46,6 +46,10 @@ class KVCluster:
     engine:
         Functional execution backend for every node's pipeline (see
         :class:`~repro.pipeline.functional.FunctionalPipeline`).
+    shards:
+        Shard count for every node's store (see
+        :class:`~repro.kv.sharding.ShardedKVStore`); 1 keeps the
+        single-partition store.
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class KVCluster:
         node_memory_bytes: int = 32 << 20,
         expected_objects: int = 32768,
         engine=None,
+        shards: int = 1,
     ):
         if not node_names:
             raise ConfigurationError("a cluster needs at least one node")
@@ -70,6 +75,7 @@ class KVCluster:
                 memory_bytes=node_memory_bytes,
                 expected_objects=expected_objects,
                 engine=engine,
+                shards=shards,
             )
             self._queries_routed[name] = 0
 

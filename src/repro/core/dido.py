@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 from repro.core.controller import AdaptationController
 from repro.core.profiler import WorkloadProfile, WorkloadProfiler
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.hardware.specs import APU_A10_7850K, PlatformSpec
 from repro.kv.protocol import Query, decode_queries
+from repro.kv.sharding import ShardedKVStore
 from repro.kv.store import KVStore
 from repro.net.nic import SimulatedNIC
 from repro.net.packets import Frame, frames_for_queries
@@ -68,8 +69,14 @@ class DidoSystem:
         Enable work stealing in planned configurations.
     engine:
         Functional execution backend ("auto"/None, "serial", "stealing",
-        "reference", or a backend instance); forwarded to
-        :class:`~repro.pipeline.functional.FunctionalPipeline`.
+        "reference", "vector", "sharded", or a backend instance);
+        forwarded to :class:`~repro.pipeline.functional.FunctionalPipeline`.
+    shards:
+        Hash-partition the store across this many independent
+        :class:`~repro.kv.store.KVStore` shards (a
+        :class:`~repro.kv.sharding.ShardedKVStore`).  With ``shards > 1``
+        an unset/auto ``engine`` resolves to "sharded" — the only backend
+        that executes across partitions.
     """
 
     def __init__(
@@ -81,10 +88,21 @@ class DidoSystem:
         latency_budget_ns: float = 1_000_000.0,
         work_stealing: bool = True,
         engine=None,
+        shards: int = 1,
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
-        self.store = KVStore(budget, expected_objects)
+        if shards > 1:
+            self.store = ShardedKVStore(budget, expected_objects, shards)
+            if engine is None or engine == "auto":
+                engine = "sharded"
+            elif engine != "sharded" and not hasattr(engine, "run"):
+                raise ConfigurationError(
+                    f"engine {engine!r} cannot execute across {shards} shards; "
+                    "use engine='sharded' (or shards=1)"
+                )
+        else:
+            self.store = KVStore(budget, expected_objects)
         self.nic = SimulatedNIC()
         self.profiler = WorkloadProfiler()
         self.controller = AdaptationController(

@@ -12,7 +12,13 @@ This package is the single home of pipeline *stage semantics*:
   passes) and :class:`StealingEngine` (dual-executor tag-array chunk
   claiming over the same passes);
 * :mod:`repro.engine.reference` — the per-query :class:`ReferenceEngine`,
-  kept as equivalence ground truth and benchmark baseline.
+  kept as equivalence ground truth and benchmark baseline;
+* :mod:`repro.engine.vector` — :class:`VectorEngine`, NumPy batch kernels
+  for the index-side passes (whole-column hashing, signature mask-match
+  against the cuckoo table's mirror);
+* :mod:`repro.engine.sharded` — :class:`ShardedEngine`, splitting each
+  batch across a :class:`~repro.kv.sharding.ShardedKVStore`'s partitions
+  on a persistent worker pool.
 """
 
 from __future__ import annotations
@@ -28,10 +34,12 @@ from repro.engine.plan import (
 )
 from repro.engine.plane import BatchPlane, indices_between
 from repro.engine.reference import ReferenceEngine
+from repro.engine.sharded import ShardedEngine
+from repro.engine.vector import VectorEngine
 from repro.errors import ConfigurationError
 
 #: Engines selectable by name (CLI flags, DidoSystem's ``engine=`` knob).
-ENGINE_NAMES = ("auto", "serial", "stealing", "reference")
+ENGINE_NAMES = ("auto", "serial", "stealing", "reference", "vector", "sharded")
 
 
 def resolve_engine(engine):
@@ -48,6 +56,8 @@ def resolve_engine(engine):
             "serial": SerialEngine,
             "stealing": StealingEngine,
             "reference": ReferenceEngine,
+            "vector": VectorEngine,
+            "sharded": ShardedEngine,
         }.get(engine)
         if factory is None:
             raise ConfigurationError(
@@ -68,8 +78,10 @@ __all__ = [
     "PlanPhase",
     "ReferenceEngine",
     "SerialEngine",
+    "ShardedEngine",
     "StagePlan",
     "StealingEngine",
+    "VectorEngine",
     "compile_stage_plan",
     "indices_between",
     "resolve_engine",

@@ -57,6 +57,8 @@ class BatchPlane:
         "search_indices",
         "mutation_indices",
         "all_indices",
+        "scratch",
+        "response_sizes",
     )
 
     def __init__(self, queries: list[Query]):
@@ -103,12 +105,33 @@ class BatchPlane:
         self.mutation_indices = mutation_indices
         #: Every query (the WR pass).
         self.all_indices = range(n)
+        #: Engine-private per-batch state (the vector engine parks its
+        #: hashed key columns here); plain engines leave it None.
+        self.scratch = None
+        #: Optional wire-size column filled by the WR pass (vector engine):
+        #: ``response_sizes[i]`` is ``responses[i].wire_size``, precomputed
+        #: so downstream framing/chunking needs no per-response property
+        #: calls.  None when the executing engine does not produce it.
+        self.response_sizes: list[int] | None = None
 
     def take_responses(self) -> list[Response]:
-        """The completed response column; raises if any slot is empty."""
+        """The completed response column; raises if any slot is empty.
+
+        The error names the offending query indices (and their types) so a
+        missing-response bug points straight at the queries a phase skipped
+        rather than at "somewhere in the batch".
+        """
         responses = self.responses
         if any(r is None for r in responses):
-            raise SimulationError("a query completed the pipeline without a response")
+            missing = [i for i, r in enumerate(responses) if r is None]
+            shown = ", ".join(
+                f"{i}:{self.qtypes[i].name}" for i in missing[:8]
+            )
+            suffix = ", ..." if len(missing) > 8 else ""
+            raise SimulationError(
+                f"{len(missing)} of {self.size} queries completed the pipeline "
+                f"without a response (indices {shown}{suffix})"
+            )
         return responses  # type: ignore[return-value]
 
 

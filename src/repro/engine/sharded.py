@@ -1,0 +1,158 @@
+"""ShardedEngine: split each batch by shard and execute in parallel.
+
+The counterpart to :class:`~repro.kv.sharding.ShardedKVStore`: the engine
+computes every query's shard with the same vectorized seed-0 FNV hash the
+store's :func:`~repro.kv.sharding.shard_of` uses, carves the batch's
+queries into per-shard sub-batches (each its own
+:class:`~repro.engine.plane.BatchPlane`, preserving intra-shard query
+order and therefore the batch read-your-write discipline), runs each
+sub-batch through an inner engine against its shard's *plain*
+:class:`~repro.kv.store.KVStore` on a persistent worker pool (sized to
+the machine's cores; sub-batches run inline on a single core, where
+threads would only add switching overhead), and scatters the response
+(and response-size) columns back into batch order.
+
+Shards share nothing — no index buckets, no slabs, no stats objects — so
+the sub-batches are free to run concurrently; the inner engine defaults to
+:class:`~repro.engine.vector.VectorEngine`, which also releases chunks of
+the interpreter's time to NumPy, so the pool gets real overlap on top of
+the per-shard kernel win.  On a plain (unsharded) store the engine
+degrades to running the inner engine on the whole batch.
+
+Each run reports a ``repro_shard_imbalance`` gauge — the largest
+sub-batch relative to the ideal even split (1.0 = perfectly balanced) —
+so skewed workloads that defeat the partitioning are visible in
+``repro telemetry``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.plane import BatchPlane
+from repro.engine.vector import VectorEngine, fnv_hash_columns
+from repro.kv.sharding import ShardedKVStore, shard_of
+from repro.telemetry import get_telemetry
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Upper bound on pool size; shards beyond this share workers.
+MAX_WORKERS = 8
+
+
+class ShardedEngine:
+    """Partition each batch across a :class:`ShardedKVStore`'s shards.
+
+    Parameters
+    ----------
+    inner:
+        Engine executed per shard sub-batch (default: a
+        :class:`~repro.engine.vector.VectorEngine`).  Engines are
+        stateless across runs, so one instance serves all workers.
+    """
+
+    name = "sharded"
+
+    def __init__(self, inner=None):
+        self._inner = inner if inner is not None else VectorEngine()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self, num_shards: int) -> ThreadPoolExecutor | None:
+        """The worker pool, or ``None`` when threads cannot help.
+
+        Sub-batches run inline on single-core machines: a pool of one
+        (or GIL-timesliced workers on one core) adds submit/wake-up
+        overhead without any overlap to pay for it.
+        """
+        workers = min(num_shards, MAX_WORKERS, os.cpu_count() or 1)
+        if workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (tests and long-lived servers)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _assign_shards(self, keys: list[bytes], num_shards: int) -> list[int]:
+        """Per-query shard ids, vectorized when NumPy is available."""
+        if np is not None:
+            states = fnv_hash_columns(keys, 1)
+            return (states[0] % np.uint64(num_shards)).astype(np.intp).tolist()
+        return [shard_of(key, num_shards) for key in keys]
+
+    def run(
+        self,
+        store,
+        plan,
+        plane: BatchPlane,
+        *,
+        epoch: int = 0,
+        task_times=None,
+    ) -> dict[str, int]:
+        if not isinstance(store, ShardedKVStore) or store.num_shards == 1:
+            target = store.shards[0] if isinstance(store, ShardedKVStore) else store
+            return self._inner.run(
+                target, plan, plane, epoch=epoch, task_times=task_times
+            )
+        num_shards = store.num_shards
+        queries = plane.queries
+        assignment = self._assign_shards(plane.keys, num_shards)
+        shard_rows: list[list[int]] = [[] for _ in range(num_shards)]
+        for row, shard in enumerate(assignment):
+            shard_rows[shard].append(row)
+
+        inner = self._inner
+        sub_planes: list[tuple[list[int], BatchPlane]] = []
+
+        def run_shard(shard_idx: int, rows: list[int]) -> BatchPlane:
+            sub = BatchPlane([queries[r] for r in rows])
+            inner.run(store.shards[shard_idx], plan, sub, epoch=epoch)
+            return sub
+
+        pool = self._ensure_pool(num_shards)
+        if pool is None:
+            for shard_idx, rows in enumerate(shard_rows):
+                if rows:
+                    sub_planes.append((rows, run_shard(shard_idx, rows)))
+        else:
+            futures = []
+            for shard_idx, rows in enumerate(shard_rows):
+                if rows:
+                    futures.append((rows, pool.submit(run_shard, shard_idx, rows)))
+            for rows, future in futures:
+                sub_planes.append((rows, future.result()))
+
+        responses = plane.responses
+        sizes: list[int] | None = [0] * plane.size
+        for rows, sub in sub_planes:
+            sub_responses = sub.responses
+            for local, row in enumerate(rows):
+                responses[row] = sub_responses[local]
+            if sub.response_sizes is None:
+                sizes = None
+            elif sizes is not None:
+                sub_sizes = sub.response_sizes
+                for local, row in enumerate(rows):
+                    sizes[row] = sub_sizes[local]
+        plane.response_sizes = sizes
+
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            largest = max(len(rows) for rows in shard_rows)
+            ideal = plane.size / num_shards
+            telemetry.registry.gauge(
+                "repro_shard_imbalance",
+                help="Largest shard sub-batch over the ideal even split",
+            ).set(largest / ideal if ideal else 0.0)
+        return {}

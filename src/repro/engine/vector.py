@@ -1,0 +1,293 @@
+"""VectorEngine: NumPy batch kernels for the index-side hot passes.
+
+The columnar :class:`~repro.engine.backends.SerialEngine` already executes
+each compiled phase as one pass, but every pass is still a scalar Python
+loop — per key it hashes (or probe-caches), walks bucket slot lists, and
+branches per query type.  Mega-KV's throughput comes from running exactly
+these passes as bulk SIMD/GPU kernels over arrays; this backend does the
+same with NumPy over the :class:`~repro.engine.plane.BatchPlane` columns:
+
+* **Hashing** — the entire key column is hashed once per batch: the keys
+  are packed into a padded ``uint8`` matrix and 64-bit FNV-1a is mixed
+  across byte columns for all ``num_hashes + 1`` seeds simultaneously
+  (signature + every candidate bucket), with a scalar fallback for
+  oversized keys.  Candidate buckets come from one mask broadcast over the
+  hash columns.
+* **Search** — signatures are mask-matched against the cuckoo table's
+  :class:`~repro.kv.hashtable.SignatureMirror` (a struct-of-arrays copy of
+  the slot state that :meth:`~repro.kv.hashtable.CuckooHashTable._write_slot`
+  keeps in sync): one gather + compare per probe round, with the same
+  probe-order short-circuit and bucket-read accounting as the scalar path.
+* **KC / RD** — the search pass leaves its matches in columnar form, so
+  key-compare and read only touch queries that actually have candidates,
+  and RD only locations that passed the full-key comparison.
+* **WR** — responses are filled per query-type subset (shared singletons
+  bulk-assigned), and the batch's *response-size column* is computed with
+  one NumPy broadcast, so SD framing and server chunking need no
+  per-response ``wire_size`` property calls.
+
+Allocation (MM) and the index Insert/Delete passes are inherited from
+:class:`SerialEngine` unchanged: they mutate Python heap objects and the
+authoritative cuckoo slots, which has no array form — and the flexible
+index-operation analysis (paper Figure 6) is precisely that those
+operations do *not* benefit from batched kernels the way Search does.
+
+The backend degrades gracefully: when NumPy is missing or the store's
+index does not support the signature mirror (e.g. the chained-hash
+alternative), every pass falls back to the serial implementation and
+results are still correct.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends import (
+    NOT_FOUND_RESPONSE,
+    STORED_RESPONSE,
+    SerialEngine,
+)
+from repro.engine.plane import BatchPlane
+from repro.kv.hashtable import EMPTY
+from repro.kv.objects import _FNV_OFFSET, _FNV_PRIME, fnv1a64
+from repro.kv.protocol import QueryType, Response, ResponseStatus
+from repro.kv.store import KVStore
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Keys longer than this take the scalar FNV path (the padded matrix would
+#: waste cache on a few giants; production keys are tens of bytes).
+MAX_VECTOR_KEY_BYTES = 128
+
+#: Wire bytes of a value-less response (status byte + length word).
+_RESPONSE_HEADER_BYTES = Response(ResponseStatus.STORED).wire_size
+
+_MASK64 = (1 << 64) - 1
+_SIG_MASK32 = (1 << 32) - 1
+
+
+def fnv_hash_columns(keys: list[bytes], num_states: int):
+    """64-bit FNV-1a of every key under seeds ``0..num_states-1``, batched.
+
+    Returns a ``(num_states, len(keys))`` uint64 array where row ``s``
+    equals ``fnv1a64(key, seed=s)`` for every key — bit-exact with the
+    scalar hash, which the vector kernel tests assert.  All seed states mix
+    the same byte column per step, so the whole batch costs one pass over
+    ``max_key_len`` byte columns regardless of how many hash functions the
+    index uses.  Keys longer than :data:`MAX_VECTOR_KEY_BYTES` are hashed
+    scalar and patched into the result.
+    """
+    n = len(keys)
+    prime = np.uint64(_FNV_PRIME)
+    states = np.empty((num_states, n), dtype=np.uint64)
+    for seed in range(num_states):
+        states[seed, :] = np.uint64(_FNV_OFFSET ^ (seed * _FNV_PRIME & _MASK64))
+    if n == 0:
+        return states
+    lens = np.fromiter(map(len, keys), dtype=np.intp, count=n)
+    max_len = int(lens.max())
+    uniform = bool((lens == max_len).all())
+    if uniform and max_len <= MAX_VECTOR_KEY_BYTES:
+        matrix = np.frombuffer(b"".join(keys), dtype=np.uint8).reshape(n, max_len)
+        for j in range(max_len):
+            states = (states ^ matrix[:, j].astype(np.uint64)) * prime
+        return states
+    # Ragged or oversized keys: pad in-bound keys into a zero matrix and
+    # mask each mixing step by key length; hash oversized keys scalar.
+    bounded = min(max_len, MAX_VECTOR_KEY_BYTES)
+    oversized = lens > MAX_VECTOR_KEY_BYTES
+    matrix = np.zeros((n, bounded), dtype=np.uint8)
+    for i, key in enumerate(keys):
+        if not oversized[i]:
+            matrix[i, : lens[i]] = np.frombuffer(key, dtype=np.uint8)
+    for j in range(bounded):
+        mixed = (states ^ matrix[:, j].astype(np.uint64)) * prime
+        states = np.where(lens > j, mixed, states)
+    if oversized.any():
+        for i in np.nonzero(oversized)[0].tolist():
+            for seed in range(num_states):
+                states[seed, i] = fnv1a64(keys[i], seed=seed)
+    return states
+
+
+class _VectorScratch:
+    """Per-batch columnar state the vector passes hand to each other."""
+
+    __slots__ = ("hit_rows", "hit_locs", "multi_hits", "rd_rows", "rd_locs", "value_rows", "value_lens")
+
+    def __init__(self) -> None:
+        #: Plane indices whose Search matched exactly one candidate, and
+        #: the candidate location, aligned.
+        self.hit_rows: list[int] = []
+        self.hit_locs: list[int] = []
+        #: Plane index -> candidate locations, for the rare multi-match.
+        self.multi_hits: dict[int, list[int]] = {}
+        #: Plane indices (and locations) that survived key-compare.
+        self.rd_rows: list[int] = []
+        self.rd_locs: list[int] = []
+        #: Plane indices (and value byte lengths) of GET hits, for the
+        #: response-size column.
+        self.value_rows: list[int] = []
+        self.value_lens: list[int] = []
+
+
+class VectorEngine(SerialEngine):
+    """Whole-batch execution with NumPy kernels for the index-side passes."""
+
+    name = "vector"
+
+    def run(
+        self,
+        store: KVStore,
+        plan,
+        plane: BatchPlane,
+        *,
+        epoch: int = 0,
+        task_times=None,
+    ) -> dict[str, int]:
+        index = getattr(store, "index", None)
+        if np is not None and hasattr(index, "ensure_mirror"):
+            index.ensure_mirror()
+            plane.scratch = _VectorScratch()
+        return super().run(store, plan, plane, epoch=epoch, task_times=task_times)
+
+    # --------------------------------------------------------------- search
+
+    def _pass_search(self, store: KVStore, plane: BatchPlane, indices) -> None:
+        scratch = plane.scratch
+        if scratch is None:
+            SerialEngine._pass_search(store, plane, indices)
+            return
+        if not indices:
+            return
+        index = store.index
+        mirror = index.mirror
+        num_hashes = index.num_hashes
+        keys = plane.keys
+        states = fnv_hash_columns([keys[i] for i in indices], num_hashes + 1)
+        signatures = (states[0] & np.uint64(_SIG_MASK32)).astype(np.uint32)
+        bucket_mask = np.uint64(index.num_buckets - 1)
+        n = len(indices)
+        plane_rows = np.asarray(indices, dtype=np.intp)
+        remaining = np.arange(n, dtype=np.intp)
+        reads = np.full(n, num_hashes, dtype=np.int64)
+        hit_rows = scratch.hit_rows
+        hit_locs = scratch.hit_locs
+        qtypes = plane.qtypes
+        get_type = QueryType.GET
+        for probe in range(num_hashes):
+            if remaining.size == 0:
+                break
+            buckets = (states[probe + 1][remaining] & bucket_mask).astype(np.intp)
+            sig_slots = mirror.signatures[buckets]
+            loc_slots = mirror.locations[buckets]
+            match = (loc_slots != EMPTY) & (sig_slots == signatures[remaining][:, None])
+            matched = match.any(axis=1)
+            if matched.any():
+                local = np.nonzero(matched)[0]
+                resolved = remaining[local]
+                reads[resolved] = probe + 1
+                counts = match[local].sum(axis=1)
+                first_slot = match[local].argmax(axis=1)
+                first_locs = loc_slots[local, first_slot]
+                single = counts == 1
+                resolved_planes = plane_rows[resolved]
+                for row, loc in zip(
+                    resolved_planes[single].tolist(), first_locs[single].tolist()
+                ):
+                    if qtypes[row] is get_type:
+                        hit_rows.append(row)
+                        hit_locs.append(loc)
+                for li in np.nonzero(~single)[0].tolist():
+                    row = int(resolved_planes[li])
+                    locs = loc_slots[local[li]][match[local[li]]].tolist()
+                    if qtypes[row] is get_type:
+                        scratch.multi_hits[row] = locs
+                remaining = remaining[~matched]
+        stats = index.stats
+        stats.searches += n
+        stats.search_bucket_reads += int(reads.sum())
+
+    # ------------------------------------------------------------------- KC
+
+    def _pass_kc(self, store: KVStore, plane: BatchPlane, indices) -> None:
+        scratch = plane.scratch
+        if scratch is None:
+            SerialEngine._pass_kc(store, plane, indices)
+            return
+        heap_get = store.heap.get
+        keys = plane.keys
+        locations = plane.locations
+        rd_rows = scratch.rd_rows
+        rd_locs = scratch.rd_locs
+        false_positives = 0
+        for row, loc in zip(scratch.hit_rows, scratch.hit_locs):
+            obj = heap_get(loc, touch=False)
+            if obj is not None and obj.key == keys[row]:
+                locations[row] = loc
+                rd_rows.append(row)
+                rd_locs.append(loc)
+            else:
+                false_positives += 1
+        for row, candidates in scratch.multi_hits.items():
+            match = None
+            for loc in candidates:
+                obj = heap_get(loc, touch=False)
+                if obj is not None and obj.key == keys[row]:
+                    match = loc
+                else:
+                    false_positives += 1
+            if match is not None:
+                locations[row] = match
+                rd_rows.append(row)
+                rd_locs.append(match)
+        store.stats.signature_false_positives += false_positives
+
+    # ------------------------------------------------------------------- RD
+
+    def _pass_rd(self, store: KVStore, plane: BatchPlane, indices, epoch: int) -> None:
+        scratch = plane.scratch
+        if scratch is None:
+            SerialEngine._pass_rd(store, plane, indices, epoch)
+            return
+        heap_get = store.heap.get
+        read_values = plane.read_values
+        value_rows = scratch.value_rows
+        value_lens = scratch.value_lens
+        for row, loc in zip(scratch.rd_rows, scratch.rd_locs):
+            obj = heap_get(loc)
+            if obj is None:
+                continue
+            obj.record_access(epoch)
+            value = obj.value
+            read_values[row] = value
+            value_rows.append(row)
+            value_lens.append(len(value))
+
+    # ------------------------------------------------------------------- WR
+
+    def _pass_wr(self, plane: BatchPlane, indices) -> None:
+        scratch = plane.scratch
+        if scratch is None:
+            SerialEngine._pass_wr(plane, indices)
+            return
+        responses = plane.responses
+        read_values = plane.read_values
+        ok = ResponseStatus.OK
+        for i in plane.set_indices:
+            responses[i] = STORED_RESPONSE
+        for i in plane.get_indices:
+            value = read_values[i]
+            if value is None:
+                responses[i] = NOT_FOUND_RESPONSE
+            else:
+                responses[i] = Response(ok, value)
+        # The response-size column: header bytes everywhere, plus the value
+        # bytes of each GET hit, in one broadcast.
+        sizes = np.full(plane.size, _RESPONSE_HEADER_BYTES, dtype=np.int64)
+        if scratch.value_rows:
+            sizes[np.asarray(scratch.value_rows, dtype=np.intp)] += np.asarray(
+                scratch.value_lens, dtype=np.int64
+            )
+        plane.response_sizes = sizes.tolist()

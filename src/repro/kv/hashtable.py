@@ -22,10 +22,16 @@ runtime", Section IV-B).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.kv.objects import fnv1a64, key_signature
+
+try:  # NumPy backs the optional signature mirror; everything else is pure.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 
 #: Slots per bucket; 4-way set-associativity is the common choice in
 #: Mega-KV-like stores (one bucket per 32-byte index line on the GPU).
@@ -68,6 +74,35 @@ class IndexStats:
 class _Slot:
     signature: int = 0
     location: int = EMPTY
+
+
+class SignatureMirror:
+    """Struct-of-arrays copy of the table's ``(signature, location)`` slots.
+
+    The vector engine's batched Search matches whole signature columns with
+    one NumPy broadcast instead of probing bucket lists slot by slot — the
+    coupled-architecture analogue of Mega-KV keeping its compact index in
+    GPU-friendly arrays.  The table itself remains authoritative: every
+    slot write goes through :meth:`CuckooHashTable._write_slot`, which
+    updates both representations, so the mirror can never drift (the fuzz
+    test in ``tests/test_vector_engine.py`` pins this down).
+    """
+
+    __slots__ = ("signatures", "locations")
+
+    def __init__(self, buckets: list[list[_Slot]], slots_per_bucket: int):
+        num_buckets = len(buckets)
+        self.signatures = _np.zeros((num_buckets, slots_per_bucket), dtype=_np.uint32)
+        self.locations = _np.full((num_buckets, slots_per_bucket), EMPTY, dtype=_np.int64)
+        for bucket_idx, bucket in enumerate(buckets):
+            for slot_idx, slot in enumerate(bucket):
+                if slot.location != EMPTY:
+                    self.signatures[bucket_idx, slot_idx] = slot.signature
+                    self.locations[bucket_idx, slot_idx] = slot.location
+
+    def write(self, bucket_idx: int, slot_idx: int, signature: int, location: int) -> None:
+        self.signatures[bucket_idx, slot_idx] = signature
+        self.locations[bucket_idx, slot_idx] = location
 
 
 class CuckooHashTable:
@@ -113,10 +148,13 @@ class CuckooHashTable:
         self._count = 0
         self.stats = IndexStats()
         # Probe specs are a pure function of the key and the (fixed) table
-        # geometry, so they can be cached indefinitely; bounded to keep the
-        # footprint predictable under unbounded key universes.
-        self._probe_cache: dict[bytes, tuple[int, list[int]]] = {}
+        # geometry, so they can be cached indefinitely; kept as a bounded
+        # LRU so long-running servers under key churn hold only the hot
+        # working set instead of leaking one entry per distinct key ever
+        # seen.
+        self._probe_cache: OrderedDict[bytes, tuple[int, list[int]]] = OrderedDict()
         self._probe_cache_cap = 1 << 17
+        self._mirror: SignatureMirror | None = None
 
     # ------------------------------------------------------------------ info
 
@@ -175,18 +213,46 @@ class CuckooHashTable:
         return key_signature(key), self.candidate_buckets(key)
 
     def probe_cached(self, key: bytes) -> tuple[int, list[int]]:
-        """:meth:`probe` through the table's persistent probe cache.
+        """:meth:`probe` through the table's persistent LRU probe cache.
 
         Hot keys under skewed workloads recur across batches; caching their
-        probe specs makes repeat index operations hash-free.
+        probe specs makes repeat index operations hash-free.  The cache is
+        a true LRU bounded at ``_probe_cache_cap`` entries: a hit refreshes
+        the key, a miss at capacity evicts the least-recently-used spec —
+        so unbounded key churn recycles cold entries instead of growing the
+        cache (or dropping the hot set wholesale) forever.
         """
         cache = self._probe_cache
         spec = cache.get(key)
         if spec is None:
             if len(cache) >= self._probe_cache_cap:
-                cache.clear()
+                cache.popitem(last=False)
             spec = cache[key] = self.probe(key)
+        else:
+            cache.move_to_end(key)
         return spec
+
+    # ----------------------------------------------------- signature mirror
+
+    @property
+    def mirror(self) -> SignatureMirror | None:
+        """The NumPy signature mirror, if one has been attached."""
+        return self._mirror
+
+    def ensure_mirror(self) -> SignatureMirror:
+        """Attach (or return) the NumPy mirror of the slot arrays.
+
+        Built once from the authoritative buckets; afterwards every
+        :meth:`_write_slot` updates both representations.  Raises
+        :class:`ConfigurationError` when NumPy is unavailable.
+        """
+        if self._mirror is None:
+            if _np is None:  # pragma: no cover - numpy-less installs
+                raise ConfigurationError(
+                    "the signature mirror requires numpy, which is not installed"
+                )
+            self._mirror = SignatureMirror(self._buckets, self._slots_per_bucket)
+        return self._mirror
 
     # ------------------------------------------------------------ operations
 
@@ -283,9 +349,9 @@ class CuckooHashTable:
         # Try an empty slot in any candidate bucket first.
         for bucket_idx in candidates:
             bucket = self._buckets[bucket_idx]
-            for slot in bucket:
+            for slot_idx, slot in enumerate(bucket):
                 if slot.location == EMPTY:
-                    self._write_slot(bucket_idx, slot, signature, location)
+                    self._write_slot(bucket_idx, slot_idx, signature, location)
                     return writes + 1
             writes += 1  # full bucket examined counts as a touch
         # All candidate buckets full: displace (kick) from the first one.
@@ -296,7 +362,7 @@ class CuckooHashTable:
             bucket = self._buckets[victim_bucket]
             slot = bucket[victim_slot_idx]
             evicted_sig, evicted_loc = slot.signature, slot.location
-            self._write_slot(victim_bucket, slot, carried_sig, carried_loc)
+            self._write_slot(victim_bucket, victim_slot_idx, carried_sig, carried_loc)
             writes += 1
             self.stats.insert_kicks += 1
             if evicted_loc == EMPTY:
@@ -306,9 +372,9 @@ class CuckooHashTable:
             # derive them from the signature since the key is not stored.
             alt = (victim_bucket ^ fnv1a64(carried_sig.to_bytes(4, "little"))) & self._mask
             placed = False
-            for slot2 in self._buckets[alt]:
+            for slot2_idx, slot2 in enumerate(self._buckets[alt]):
                 if slot2.location == EMPTY:
-                    self._write_slot(alt, slot2, carried_sig, carried_loc)
+                    self._write_slot(alt, slot2_idx, carried_sig, carried_loc)
                     writes += 1
                     placed = True
                     break
@@ -337,12 +403,12 @@ class CuckooHashTable:
         self.stats.deletes += 1
         for bucket_idx in buckets:
             bucket = self._buckets[bucket_idx]
-            for slot in bucket:
+            for slot_idx, slot in enumerate(bucket):
                 if slot.location == EMPTY or slot.signature != signature:
                     continue
                 if location is not None and slot.location != location:
                     continue
-                self._write_slot(bucket_idx, slot, 0, EMPTY)
+                self._write_slot(bucket_idx, slot_idx, 0, EMPTY)
                 self._count -= 1
                 return True
         # The entry may have been kicked to a derived bucket during insert.
@@ -355,12 +421,12 @@ class CuckooHashTable:
         """Fallback scan of displacement-derived buckets for kicked entries."""
         for origin in range(self._num_hashes):
             bucket_idx = fnv1a64(signature.to_bytes(4, "little"), seed=origin + 1) & self._mask
-            for slot in self._buckets[bucket_idx]:
+            for slot_idx, slot in enumerate(self._buckets[bucket_idx]):
                 if slot.location == EMPTY or slot.signature != signature:
                     continue
                 if location is not None and slot.location != location:
                     continue
-                self._write_slot(bucket_idx, slot, 0, EMPTY)
+                self._write_slot(bucket_idx, slot_idx, 0, EMPTY)
                 return True
         if location is None:
             return False
@@ -369,17 +435,25 @@ class CuckooHashTable:
         # location is known (unit tests exercise this path; the store always
         # supplies locations).
         for bucket_idx, bucket in enumerate(self._buckets):
-            for slot in bucket:
+            for slot_idx, slot in enumerate(bucket):
                 if slot.location == location and slot.signature == signature:
-                    self._write_slot(bucket_idx, slot, 0, EMPTY)
+                    self._write_slot(bucket_idx, slot_idx, 0, EMPTY)
                     return True
         return False
 
-    def _write_slot(self, bucket_idx: int, slot: _Slot, signature: int, location: int) -> None:
-        """Single-slot "atomic compare-exchange" write with version bump."""
+    def _write_slot(self, bucket_idx: int, slot_idx: int, signature: int, location: int) -> None:
+        """Single-slot "atomic compare-exchange" write with version bump.
+
+        The one mutation point for slot state: the authoritative ``_Slot``
+        and (when attached) the NumPy signature mirror are updated together,
+        so the two representations cannot diverge.
+        """
+        slot = self._buckets[bucket_idx][slot_idx]
         slot.signature = signature
         slot.location = location
         self._versions[bucket_idx] += 1
+        if self._mirror is not None:
+            self._mirror.write(bucket_idx, slot_idx, signature, location)
 
     # ------------------------------------------------------------- iteration
 

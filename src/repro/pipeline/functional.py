@@ -51,6 +51,9 @@ class BatchResult:
     frames: list[Frame]
     config_label: str
     steal_claims: dict[str, int] = field(default_factory=dict)
+    #: Wire size per response when the engine computed the column
+    #: (vector/sharded backends); None otherwise.
+    response_sizes: list[int] | None = None
 
     @property
     def ok_count(self) -> int:
@@ -71,8 +74,10 @@ class FunctionalPipeline:
     engine:
         Execution backend: ``None``/"auto" picks per batch (stealing when
         the config enables it on a GPU stage, serial otherwise); "serial",
-        "stealing" or "reference" pins a backend; an object with a ``run``
-        method is used as-is.
+        "stealing", "reference", "vector" or "sharded" pins a backend; an
+        object with a ``run`` method is used as-is.  "sharded" expects the
+        store to be a :class:`~repro.kv.sharding.ShardedKVStore` (it falls
+        back to its inner engine on a plain store).
     """
 
     def __init__(self, store: KVStore, epoch_source=None, engine=None):
@@ -141,6 +146,7 @@ class FunctionalPipeline:
             frames=frames,
             config_label=config.label,
             steal_claims=steal_claims,
+            response_sizes=plane.response_sizes,
         )
 
     def _emit_batch(

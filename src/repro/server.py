@@ -7,9 +7,16 @@ service: one datagram in (a batch of queries), one or more datagrams out
 (the responses), processed through the full adaptive pipeline.
 
 The paper's system batches queries for the GPU; a network server front-end
-does the same here: datagrams arriving within a small window are coalesced
-into one pipeline batch so the profiler and cost model see realistic batch
-sizes rather than single queries.
+does the same here with **adaptive batch coalescing**: queries accumulate
+until either the batch-size target (``batch_size``) is reached or the
+coalescing deadline (``coalesce_us``, measured from the first arrival)
+expires — whichever comes first.  Under heavy traffic batches fill to the
+target and the deadline never fires (maximum kernel efficiency); under
+light traffic the deadline bounds latency and the pipeline sees partial
+batches.  Queries beyond the target carry over to the next batch, and the
+carry-over depth, batch fill ratio, and (on sharded stores) shard
+imbalance are exported as gauges so the coalescing behaviour is observable
+via ``repro telemetry``.
 
 Usage::
 
@@ -48,6 +55,10 @@ MAX_DATAGRAM = 64 * 1024
 #: How long the server waits to coalesce datagrams into one pipeline batch.
 DEFAULT_BATCH_WINDOW_S = 0.002
 
+#: Batch-size target: a batch is dispatched as soon as it holds this many
+#: queries, even if the coalescing deadline has not expired.
+DEFAULT_BATCH_SIZE = 4096
+
 #: Responses per outgoing datagram are bounded by this payload size.
 MAX_RESPONSE_PAYLOAD = 32 * 1024
 
@@ -74,11 +85,20 @@ class DidoUDPServer:
         The :class:`~repro.core.dido.DidoSystem` that processes batches; a
         default-sized one is created if omitted.
     batch_window_s:
-        Coalescing window: datagrams arriving within it form one batch.
+        Coalescing deadline in seconds, measured from the first query of a
+        batch; ``coalesce_us`` overrides it when given.
     engine:
         Functional execution backend for the default-created system (see
         :class:`~repro.pipeline.functional.FunctionalPipeline`); ignored
         when an explicit ``system`` is passed.
+    batch_size:
+        Dispatch a batch as soon as it holds this many queries (the
+        adaptive cutoff); excess queries carry over to the next batch.
+    coalesce_us:
+        Coalescing deadline in microseconds (overrides ``batch_window_s``).
+    shards:
+        Shard count for the default-created system; ignored when an
+        explicit ``system`` is passed.
     """
 
     def __init__(
@@ -87,16 +107,29 @@ class DidoUDPServer:
         system: DidoSystem | None = None,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         engine=None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        coalesce_us: float | None = None,
+        shards: int = 1,
     ):
+        if coalesce_us is not None:
+            if coalesce_us < 0:
+                raise ConfigurationError("coalesce deadline must be non-negative")
+            batch_window_s = coalesce_us / 1e6
         if batch_window_s < 0:
             raise ConfigurationError("batch window must be non-negative")
+        if batch_size < 1:
+            raise ConfigurationError("batch size must be positive")
         self.system = system or DidoSystem(
-            memory_bytes=64 << 20, expected_objects=65536, engine=engine
+            memory_bytes=64 << 20, expected_objects=65536, engine=engine, shards=shards
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.bind(address)
         self._socket.settimeout(0.1)
         self._batch_window_s = batch_window_s
+        self._batch_size = batch_size
+        #: Queries received but not yet dispatched (the carry-over queue):
+        #: ``(queries, peer)`` groups, oldest first.
+        self._backlog: list[tuple[list[Query], tuple[str, int]]] = []
         self._running = threading.Event()
         self._thread: threading.Thread | None = None
         self.stats = ServerStats()
@@ -149,15 +182,31 @@ class DidoUDPServer:
     # ------------------------------------------------------------- serving
 
     def _serve_one_window(self) -> None:
-        """Collect datagrams for one batch window and process them."""
-        pending: list[tuple[list[Query], tuple[str, int]]] = []
-        deadline = None
-        while True:
+        """Coalesce one batch (size target or deadline) and process it.
+
+        Accumulation starts from the carry-over backlog of the previous
+        batch.  The deadline clock starts at the first query (whether
+        carried over or freshly received), so a carried-over partial batch
+        is never starved waiting for traffic that may not come.
+        """
+        pending = self._backlog
+        self._backlog = []
+        count = sum(len(queries) for queries, _ in pending)
+        deadline = (
+            time.monotonic() + self._batch_window_s if pending else None
+        )
+        while count < self._batch_size:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._socket.settimeout(max(remaining, 1e-4))
             try:
                 payload, peer = self._socket.recvfrom(MAX_DATAGRAM)
             except socket.timeout:
                 break
             except OSError:
+                self._backlog = pending
                 return  # socket closed under us during stop()
             self.stats.datagrams_in += 1
             try:
@@ -174,15 +223,48 @@ class DidoUDPServer:
                 continue
             if queries:
                 pending.append((queries, peer))
+                count += len(queries)
             if deadline is None:
                 deadline = time.monotonic() + self._batch_window_s
-                self._socket.settimeout(max(self._batch_window_s, 1e-4))
-            if time.monotonic() >= deadline:
-                break
         self._socket.settimeout(0.1)
         if not pending:
             return
-        self._process_window(pending)
+        batch = self._cut_batch(pending)
+        self._process_window(batch)
+
+    def _cut_batch(self, pending) -> list[tuple[list[Query], tuple[str, int]]]:
+        """Take up to ``batch_size`` queries; the excess becomes backlog.
+
+        A datagram straddling the cutoff is split — its tail queries keep
+        their peer attribution and run first in the next batch, so each
+        peer still sees its responses in submission order.
+        """
+        batch: list[tuple[list[Query], tuple[str, int]]] = []
+        taken = 0
+        for i, (queries, peer) in enumerate(pending):
+            room = self._batch_size - taken
+            if len(queries) <= room:
+                batch.append((queries, peer))
+                taken += len(queries)
+            else:
+                if room:
+                    batch.append((queries[:room], peer))
+                    taken += room
+                self._backlog.append((queries[room:], peer))
+                self._backlog.extend(pending[i + 1 :])
+                break
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            depth = sum(len(queries) for queries, _ in self._backlog)
+            telemetry.registry.gauge(
+                "repro_server_queue_depth",
+                help="Queries carried over past the batch-size cutoff",
+            ).set(depth)
+            telemetry.registry.gauge(
+                "repro_batch_fill_ratio",
+                help="Dispatched batch size over the batch-size target",
+            ).set(min(taken, self._batch_size) / self._batch_size)
+        return batch
 
     def _process_window(self, pending) -> None:
         batch: list[Query] = []
@@ -207,12 +289,18 @@ class DidoUDPServer:
                     "repro_server_query_errors_total",
                     help="Queries answered with an error status",
                 ).inc(errors)
-        # Regroup responses per peer, preserving per-peer order.
+        # Regroup responses per peer, preserving per-peer order.  When the
+        # engine produced the response-size column (vector/sharded), chunking
+        # reads precomputed sizes instead of per-response wire_size calls.
+        all_sizes = result.response_sizes
         by_peer: dict[tuple[str, int], list[Response]] = {}
-        for peer, response in zip(owners, result.responses):
+        sizes_by_peer: dict[tuple[str, int], list[int]] = {}
+        for i, (peer, response) in enumerate(zip(owners, result.responses)):
             by_peer.setdefault(peer, []).append(response)
+            if all_sizes is not None:
+                sizes_by_peer.setdefault(peer, []).append(all_sizes[i])
         for peer, responses in by_peer.items():
-            for chunk in _chunk_responses(responses):
+            for chunk in _chunk_responses(responses, sizes_by_peer.get(peer)):
                 try:
                     self._socket.sendto(encode_responses(chunk), peer)
                     self.stats.datagrams_out += 1
@@ -220,13 +308,19 @@ class DidoUDPServer:
                     break
 
 
-def _chunk_responses(responses: list[Response]) -> list[list[Response]]:
-    """Split responses into datagram-sized groups (stream-order preserved)."""
+def _chunk_responses(
+    responses: list[Response], sizes: list[int] | None = None
+) -> list[list[Response]]:
+    """Split responses into datagram-sized groups (stream-order preserved).
+
+    ``sizes`` is the engine's precomputed response-size column for these
+    responses (same order); without it sizes come from ``wire_size``.
+    """
     chunks: list[list[Response]] = []
     current: list[Response] = []
     size = 0
-    for response in responses:
-        wire = response.wire_size
+    for i, response in enumerate(responses):
+        wire = sizes[i] if sizes is not None else response.wire_size
         if current and size + wire > MAX_RESPONSE_PAYLOAD:
             chunks.append(current)
             current, size = [], 0

@@ -198,9 +198,18 @@ def _family_of(series_name: str, families: dict[str, dict]) -> str | None:
 
 # ----------------------------------------------------------------- console
 
+#: The batch-coalescing gauges the console summary calls out explicitly
+#: (queue carry-over, batch fill vs target, shard balance) — the knobs an
+#: operator tunes ``--batch-size``/``--coalesce-us``/``--shards`` against.
+COALESCING_SERIES = (
+    "repro_server_queue_depth",
+    "repro_batch_fill_ratio",
+    "repro_shard_imbalance",
+)
+
 
 def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
-    """Human-readable digest: metric totals plus the most recent events."""
+    """Human-readable digest: metric totals, coalescing gauges, recent events."""
     lines = ["telemetry summary", "================="]
     snapshot = telemetry.registry.snapshot()
     if not snapshot:
@@ -215,6 +224,14 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
                 )
         else:
             for labels, value in sorted(entry["samples"].items()):
+                label_text = f"{{{labels}}}" if labels else ""
+                lines.append(f"  {name}{label_text}: {value:g}")
+    recorded = [name for name in COALESCING_SERIES if name in snapshot]
+    if recorded:
+        lines.append("")
+        lines.append("batch coalescing")
+        for name in recorded:
+            for labels, value in sorted(snapshot[name]["samples"].items()):
                 label_text = f"{{{labels}}}" if labels else ""
                 lines.append(f"  {name}{label_text}: {value:g}")
     events = telemetry.events.snapshot()

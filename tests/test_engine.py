@@ -141,6 +141,35 @@ class TestBatchPlane:
         with pytest.raises(SimulationError):
             plane.take_responses()
 
+    def test_take_responses_error_names_missing_indices(self):
+        """The failure message points at the exact queries a pass skipped."""
+        from repro.kv.protocol import Response, ResponseStatus
+
+        plane = BatchPlane(
+            [
+                Query(QueryType.GET, b"a"),
+                Query(QueryType.SET, b"b", b"1"),
+                Query(QueryType.DELETE, b"c"),
+            ]
+        )
+        plane.responses[1] = Response(ResponseStatus.STORED)
+        with pytest.raises(SimulationError) as excinfo:
+            plane.take_responses()
+        message = str(excinfo.value)
+        assert "2 of 3" in message
+        assert "0:GET" in message
+        assert "2:DELETE" in message
+        assert "1:SET" not in message
+
+    def test_take_responses_error_truncates_long_index_lists(self):
+        plane = BatchPlane([Query(QueryType.GET, b"k%d" % i) for i in range(20)])
+        with pytest.raises(SimulationError) as excinfo:
+            plane.take_responses()
+        message = str(excinfo.value)
+        assert "20 of 20" in message
+        assert "..." in message  # only the first few indices are spelled out
+        assert "19:GET" not in message
+
     def test_indices_between_list_and_range(self):
         assert indices_between([1, 4, 6, 9], 4, 9) == [4, 6]
         assert indices_between([1, 4, 6, 9], 0, 100) == [1, 4, 6, 9]
@@ -219,6 +248,18 @@ class TestProbeCache:
         for i in range(30):
             index.probe_cached(f"k{i}".encode())
         assert len(index._probe_cache) <= 8
+
+    def test_cache_evicts_least_recently_used(self):
+        """Hot keys survive churn: a re-touched key outlives colder ones."""
+        store = KVStore(memory_bytes=1 << 20, expected_objects=512)
+        index = store.index
+        index._probe_cache_cap = 4
+        for i in range(4):
+            index.probe_cached(f"k{i}".encode())
+        index.probe_cached(b"k0")  # refresh the oldest entry
+        index.probe_cached(b"k-new")  # forces one eviction
+        assert b"k0" in index._probe_cache  # refreshed, kept
+        assert b"k1" not in index._probe_cache  # now the LRU, evicted
 
 
 # ------------------------------------------------------------------ backends

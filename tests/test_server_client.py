@@ -127,6 +127,95 @@ class TestClientValidation:
         assert client.execute([]) == []
 
 
+class TestCoalescing:
+    def make_server(self, **kwargs):
+        system = DidoSystem(memory_bytes=16 << 20, expected_objects=8192)
+        return DidoUDPServer(("127.0.0.1", 0), system=system, **kwargs)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_server(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            self.make_server(coalesce_us=-1.0)
+
+    def test_coalesce_us_overrides_window(self):
+        srv = self.make_server(batch_window_s=5.0, coalesce_us=1500.0)
+        try:
+            assert srv._batch_window_s == pytest.approx(0.0015)
+        finally:
+            srv.stop()
+
+    def test_cut_batch_splits_at_target_and_carries_over(self):
+        srv = self.make_server(batch_size=5)
+        try:
+            peer_a, peer_b = ("127.0.0.1", 1111), ("127.0.0.1", 2222)
+            pending = [
+                ([Query(QueryType.GET, b"k%d" % i) for i in range(4)], peer_a),
+                ([Query(QueryType.GET, b"m%d" % i) for i in range(4)], peer_b),
+            ]
+            batch = srv._cut_batch(pending)
+            taken = [(len(queries), peer) for queries, peer in batch]
+            assert taken == [(4, peer_a), (1, peer_b)]
+            # The straddling datagram's tail kept its peer and leads the backlog.
+            assert [(len(q), p) for q, p in srv._backlog] == [(3, peer_b)]
+            assert srv._backlog[0][0][0].key == b"m1"
+        finally:
+            srv.stop()
+
+    def test_cut_batch_under_target_leaves_no_backlog(self):
+        srv = self.make_server(batch_size=100)
+        try:
+            pending = [([Query(QueryType.GET, b"k")], ("127.0.0.1", 1))]
+            assert srv._cut_batch(pending) == pending
+            assert srv._backlog == []
+        finally:
+            srv.stop()
+
+    def test_backlog_is_served_first_next_window(self):
+        """A client batch larger than batch_size still gets every response
+        back in order — the overflow rides the next coalescing round."""
+        from repro.client import DidoClient
+
+        srv = self.make_server(batch_size=8)
+        srv.start()
+        try:
+            with DidoClient(srv.address, timeout_s=5.0) as client:
+                sets = [
+                    Query(QueryType.SET, b"c%d" % i, b"v%d" % i) for i in range(30)
+                ]
+                assert all(
+                    r.status is ResponseStatus.STORED for r in client.execute(sets)
+                )
+                gets = [Query(QueryType.GET, b"c%d" % i) for i in range(30)]
+                values = [r.value for r in client.execute(gets)]
+                assert values == [b"v%d" % i for i in range(30)]
+            assert srv.stats.batches >= 4  # 30 queries at target 8
+        finally:
+            srv.stop()
+
+    def test_coalescing_gauges_exported(self):
+        from repro.telemetry import configure, get_telemetry
+
+        configure(enabled=True)
+        try:
+            srv = self.make_server(batch_size=3)
+            try:
+                pending = [
+                    ([Query(QueryType.GET, b"k%d" % i) for i in range(7)],
+                     ("127.0.0.1", 1)),
+                ]
+                srv._cut_batch(pending)
+                registry = get_telemetry().registry
+                depth = dict(registry.gauge("repro_server_queue_depth").samples())
+                fill = dict(registry.gauge("repro_batch_fill_ratio").samples())
+                assert list(depth.values()) == [4.0]
+                assert list(fill.values()) == [1.0]
+            finally:
+                srv.stop()
+        finally:
+            configure(enabled=False)
+
+
 class TestChunking:
     def test_chunk_responses_respects_bound(self):
         responses = [Response(ResponseStatus.OK, b"v" * 5000) for _ in range(20)]
@@ -143,3 +232,10 @@ class TestChunking:
         chunks = _chunk_responses(responses)
         flat = [r for c in chunks for r in c]
         assert [r.value for r in flat] == [str(i).encode() for i in range(100)]
+
+    def test_precomputed_size_column_chunks_identically(self):
+        responses = [
+            Response(ResponseStatus.OK, b"v" * (i * 37 % 5000)) for i in range(50)
+        ]
+        sizes = [r.wire_size for r in responses]
+        assert _chunk_responses(responses, sizes) == _chunk_responses(responses)

@@ -1,0 +1,244 @@
+"""Sharded data plane: routing, facade views, engine equivalence, coalescing."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dido import DidoSystem
+from repro.engine import BatchPlane, ShardedEngine, compile_stage_plan
+from repro.errors import ConfigurationError
+from repro.kv.protocol import Query, QueryType, encode_responses
+from repro.kv.sharding import ShardedKVStore, shard_of
+from repro.kv.store import KVStore
+from repro.pipeline.functional import FunctionalPipeline
+from repro.pipeline.megakv import megakv_coupled_config
+
+from test_engine import all_canonical_configs, workload_batches
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+# ------------------------------------------------------------------ routing
+
+
+class TestShardRouting:
+    def test_shard_of_is_stable_and_in_range(self):
+        for n in SHARD_COUNTS:
+            for i in range(200):
+                key = f"key-{i}".encode()
+                shard = shard_of(key, n)
+                assert 0 <= shard < n
+                assert shard == shard_of(key, n)
+
+    def test_vectorized_assignment_matches_scalar(self):
+        engine = ShardedEngine()
+        keys = [f"some-key-{i}".encode() for i in range(500)] + [b"", b"x" * 300]
+        for n in SHARD_COUNTS:
+            assert engine._assign_shards(keys, n) == [shard_of(k, n) for k in keys]
+
+    def test_all_shards_receive_keys(self):
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        for i in range(400):
+            store.set(f"key-{i}".encode(), b"v")
+        assert all(size > 0 for size in store.shard_sizes())
+
+
+# ------------------------------------------------------------------- facade
+
+
+class TestShardedStoreFacade:
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedKVStore(1 << 20, 512, 0)
+
+    def test_scalar_ops_route_consistently(self):
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        assert store.get(b"missing") is None
+        store.set(b"k1", b"v1")
+        assert store.get(b"k1") == b"v1"
+        assert len(store) == 1
+        assert store.delete(b"k1") is True
+        assert store.delete(b"k1") is False
+        assert len(store) == 0
+
+    def test_merged_stats_sum_shard_counters(self):
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        for i in range(60):
+            store.set(f"key-{i}".encode(), b"v")
+            store.get(f"key-{i}".encode())
+        stats = store.stats
+        assert stats.sets == 60
+        assert stats.gets == 60
+        assert stats.get_hits == 60
+        index_stats = store.index.stats
+        assert index_stats.inserts == 60
+        assert index_stats.average_insert_buckets() > 0
+        assert len(store.heap.objects()) == 60
+
+    def test_populate_counts_and_len(self):
+        store = ShardedKVStore(8 << 20, 4096, 7)
+        items = [(f"key-{i}".encode(), b"v") for i in range(100)]
+        assert store.populate(items) == 100
+        assert len(store) == 100
+        assert len(store.index) == 100
+
+
+# ----------------------------------------------------------- engine parity
+
+
+def run_pipeline(store, engine, config, batches):
+    pipeline = FunctionalPipeline(store, engine=engine)
+    frames = []
+    for batch in batches:
+        result = pipeline.process_batch(config, batch)
+        frames.append(b"".join(f.payload for f in result.frames))
+    return frames
+
+
+class TestShardedEquivalence:
+    def test_sharded_matches_reference_across_canonical_configs(self):
+        batches = workload_batches()
+        for config in all_canonical_configs():
+            ref = run_pipeline(
+                KVStore(8 << 20, 4096), "reference", config, batches
+            )
+            engine = ShardedEngine()
+            shd = run_pipeline(
+                ShardedKVStore(8 << 20, 4096, 4), engine, config, batches
+            )
+            engine.close()
+            assert shd == ref, config.label
+
+    def test_single_shard_and_plain_store_fallback(self):
+        config = megakv_coupled_config()
+        batches = workload_batches(batches=2)
+        ref = run_pipeline(KVStore(8 << 20, 4096), "reference", config, batches)
+        for store in (ShardedKVStore(8 << 20, 4096, 1), KVStore(8 << 20, 4096)):
+            engine = ShardedEngine()
+            assert run_pipeline(store, engine, config, batches) == ref
+            engine.close()
+
+    def test_response_size_column_survives_the_merge(self):
+        config = megakv_coupled_config()
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        pipeline = FunctionalPipeline(store, engine="sharded")
+        for batch in workload_batches(batches=2):
+            result = pipeline.process_batch(config, batch)
+            assert result.response_sizes == [r.wire_size for r in result.responses]
+
+
+# --------------------------------------------------- the property test
+
+
+def _queries_from_ops(ops) -> list[Query]:
+    queries = []
+    for op, key_id, value in ops:
+        key = b"key-%d" % key_id
+        if op == "set":
+            queries.append(Query(QueryType.SET, key, value))
+        elif op == "get":
+            queries.append(Query(QueryType.GET, key))
+        else:
+            queries.append(Query(QueryType.DELETE, key))
+    return queries
+
+
+# A small key space (0..15) forces hot keys: repeated SETs of one key in a
+# single batch exercise the batch-local dedup path on every shard count.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get", "delete"]),
+        st.integers(0, 15),
+        st.binary(min_size=0, max_size=40),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(ops_strategy, min_size=1, max_size=4))
+def test_sharded_store_byte_identical_to_plain_store(batches_ops):
+    """ISSUE satellite: ShardedKVStore vs plain KVStore, byte-identical
+    responses across shard counts {1, 2, 4, 7} on mixed GET/SET/DELETE
+    traces, including hot-key batch-local dedup."""
+    config = megakv_coupled_config()
+    batches = [_queries_from_ops(ops) for ops in batches_ops]
+    # Budgets sized so neither side ever evicts (eviction order is the one
+    # legitimate divergence between a partitioned and a monolithic LRU).
+    baseline = run_pipeline(KVStore(64 << 20, 2048), "serial", config, batches)
+    for n in SHARD_COUNTS:
+        engine = ShardedEngine()
+        frames = run_pipeline(
+            ShardedKVStore(64 << 20, 2048, n), engine, config, batches
+        )
+        engine.close()
+        assert frames == baseline, f"shards={n}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["set", "get", "delete"]), st.integers(0, 30)),
+        min_size=1,
+        max_size=150,
+    ),
+    st.sampled_from(SHARD_COUNTS),
+)
+def test_sharded_scalar_ops_match_plain_store(ops, num_shards):
+    plain = KVStore(4 << 20, 2048)
+    sharded = ShardedKVStore(4 << 20, 2048, num_shards)
+    for op, key_id in ops:
+        key = b"k%d" % key_id
+        if op == "set":
+            value = b"v-%d" % key_id
+            plain.set(key, value)
+            sharded.set(key, value)
+        elif op == "get":
+            assert plain.get(key) == sharded.get(key)
+        else:
+            assert plain.delete(key) == sharded.delete(key)
+    assert len(plain) == len(sharded)
+
+
+# ------------------------------------------------------------ system level
+
+
+class TestShardedSystem:
+    def test_dido_system_auto_selects_sharded_engine(self):
+        system = DidoSystem(
+            memory_bytes=8 << 20, expected_objects=4096, shards=4
+        )
+        assert isinstance(system.store, ShardedKVStore)
+        assert isinstance(system.pipeline._engine, ShardedEngine)
+
+    def test_dido_system_rejects_incompatible_engine(self):
+        with pytest.raises(ConfigurationError):
+            DidoSystem(memory_bytes=8 << 20, expected_objects=4096,
+                       engine="serial", shards=4)
+
+    def test_sharded_system_processes_batches(self):
+        system = DidoSystem(memory_bytes=8 << 20, expected_objects=4096, shards=4)
+        plain = DidoSystem(memory_bytes=8 << 20, expected_objects=4096)
+        for batch in workload_batches(batches=3, size=256):
+            sharded_result = system.process(list(batch))
+            plain_result = plain.process(list(batch))
+            assert encode_responses(sharded_result.responses) == encode_responses(
+                plain_result.responses
+            )
+
+    def test_sharded_engine_runs_inside_batch_plane_directly(self):
+        store = ShardedKVStore(1 << 20, 512, 2)
+        engine = ShardedEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        plane = BatchPlane(
+            [Query(QueryType.SET, b"a", b"1"), Query(QueryType.GET, b"a")]
+        )
+        engine.run(store, plan, plane, epoch=0)
+        engine.close()
+        responses = plane.take_responses()
+        assert responses[1].value == b"1"
