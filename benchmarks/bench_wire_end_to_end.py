@@ -1,0 +1,239 @@
+"""End-to-end wire-plane throughput: columnar vs legacy over real UDP.
+
+Boots a loopback :class:`~repro.server.DidoUDPServer` in a subprocess
+(own interpreter, so the server and the load generator do not share a
+GIL) once per wire plane — ``legacy`` (the per-object codec path) and
+``columnar`` (the zero-copy window decoder + single-pass response
+framer) — with the same engine, batch target, and prefilled keyspace.
+Each is driven by the pipelined closed-loop generator from
+:mod:`repro.loadgen`.
+
+Before measuring, a **hard byte-identity check** replays the same
+deterministic query tape against both servers one datagram at a time and
+asserts the concatenated response byte streams are equal — the columnar
+plane must be indistinguishable on the wire.
+
+Writes ``BENCH_wire.json`` with the QPS of both planes and the speedup
+(the PR-4 acceptance bar: >= 1.5x at batch 4096).
+
+Standalone (not a pytest benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_wire_end_to_end.py \
+        [--batch-size 4096] [--duration 4] [--workers 2] [--depth 4] \
+        [--out BENCH_wire.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+from repro.loadgen import (
+    WorkloadShape,
+    build_tape,
+    count_responses,
+    prefill,
+    run_closed_loop,
+)
+from repro.server import MAX_DATAGRAM
+
+HOST = "127.0.0.1"
+
+
+def free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+        probe.bind((HOST, 0))
+        return probe.getsockname()[1]
+
+
+def start_server(wire: str, port: int, batch_size: int, coalesce_us: float):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", HOST, "--port", str(port),
+            "--engine", "vector",
+            "--wire", wire,
+            "--batch-size", str(batch_size),
+            "--coalesce-us", str(coalesce_us),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_ready(address, timeout_s: float = 10.0) -> None:
+    from repro.client import DidoClient, TimeoutError_
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with DidoClient(address, timeout_s=0.5) as client:
+                client.set(b"__ready__", b"1")
+                return
+        except (TimeoutError_, OSError):
+            continue
+    raise RuntimeError(f"server at {address} never became ready")
+
+
+def response_stream(address, tape) -> bytes:
+    """Replay the tape one datagram at a time; return the response bytes.
+
+    One datagram in flight keeps every batch aligned with one request
+    datagram, so the concatenated response stream is deterministic and
+    independent of datagram chunk boundaries.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.settimeout(5.0)
+    stream = bytearray()
+    try:
+        for payload, expected in zip(tape.payloads, tape.counts):
+            sock.sendto(payload, address)
+            got = 0
+            while got < expected:
+                data = sock.recv(MAX_DATAGRAM)
+                stream.extend(data)
+                got += count_responses(data)
+    finally:
+        sock.close()
+    return bytes(stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--coalesce-us", type=float, default=2000.0)
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--depth", type=int, default=16)
+    parser.add_argument(
+        "--max-payload",
+        type=int,
+        default=8192,
+        help="request datagram size cap (client batching granularity); "
+        "~8 KiB keeps the server saturated with a few hundred queries "
+        "per datagram",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=0.5,
+        help="closed-loop window timeout; a lost UDP datagram costs at "
+        "most this much worker time",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="closed-loop runs per plane; the best is recorded (loopback "
+        "UDP runs are noisy — losses stall whole windows)",
+    )
+    parser.add_argument("--num-keys", type=int, default=2048)
+    parser.add_argument("--key-size", type=int, default=16)
+    parser.add_argument("--value-size", type=int, default=64)
+    parser.add_argument("--get-ratio", type=float, default=0.95)
+    parser.add_argument("--queries", type=int, default=65536, help="tape length")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default="BENCH_wire.json")
+    args = parser.parse_args(argv)
+
+    shape = WorkloadShape(
+        num_keys=args.num_keys,
+        key_size=args.key_size,
+        value_size=args.value_size,
+        get_ratio=args.get_ratio,
+        seed=args.seed,
+    )
+    tape = build_tape(shape, args.queries, max_payload=args.max_payload)
+    # A short deterministic tape for the byte-identity replay (kept small:
+    # it runs one datagram at a time).
+    identity_tape = build_tape(
+        WorkloadShape(
+            num_keys=args.num_keys,
+            key_size=args.key_size,
+            value_size=args.value_size,
+            get_ratio=args.get_ratio,
+            seed=args.seed + 1,
+        ),
+        min(args.queries, 8192),
+        max_payload=args.max_payload,
+    )
+
+    reports: dict[str, dict] = {}
+    streams: dict[str, bytes] = {}
+    for wire in ("legacy", "columnar"):
+        port = free_port()
+        proc = start_server(wire, port, args.batch_size, args.coalesce_us)
+        address = (HOST, port)
+        try:
+            wait_ready(address)
+            prefill(address, shape)
+            streams[wire] = response_stream(address, identity_tape)
+            best = None
+            for trial in range(args.trials):
+                report = run_closed_loop(
+                    address,
+                    tape,
+                    workers=args.workers,
+                    depth=args.depth,
+                    duration_s=args.duration,
+                    timeout_s=args.timeout,
+                )
+                print(f"{wire:9s} trial {trial + 1}/{args.trials} {report}", flush=True)
+                if best is None or report.qps > best.qps:
+                    best = report
+            reports[wire] = best.to_dict()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    if streams["legacy"] != streams["columnar"]:
+        raise AssertionError(
+            "columnar wire plane is not byte-identical to the legacy codec "
+            f"({len(streams['legacy'])} vs {len(streams['columnar'])} bytes)"
+        )
+    print(
+        f"byte-identity: OK ({len(streams['legacy']):,} response bytes, "
+        f"{identity_tape.total_queries:,} queries)"
+    )
+
+    speedup = (
+        reports["columnar"]["qps"] / reports["legacy"]["qps"]
+        if reports["legacy"]["qps"]
+        else 0.0
+    )
+    payload = {
+        "batch_size": args.batch_size,
+        "coalesce_us": args.coalesce_us,
+        "workers": args.workers,
+        "depth": args.depth,
+        "max_payload": args.max_payload,
+        "trials": args.trials,
+        "workload": {
+            "num_keys": args.num_keys,
+            "key_size": args.key_size,
+            "value_size": args.value_size,
+            "get_ratio": args.get_ratio,
+        },
+        "legacy": reports["legacy"],
+        "columnar": reports["columnar"],
+        "speedup": round(speedup, 3),
+        "byte_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} (columnar {speedup:.2f}x legacy)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,13 @@ Commands
     Regenerate paper figures (e.g. ``fig11 fig15``; default: the quick ones)
     and print their tables.
 ``serve [--host H] [--port P] [--engine NAME] [--shards N]
-[--batch-size N] [--coalesce-us US]``
+[--batch-size N] [--coalesce-us US] [--wire columnar|legacy]``
     Run a real UDP key-value server backed by an adaptive DIDO system,
-    with adaptive batch coalescing (size target or deadline).
+    with adaptive batch coalescing (size target or deadline) and either
+    the zero-copy columnar wire plane or the legacy per-object codec.
+``loadgen [--mode closed|open] [--workers N] [--depth N] [--duration S]``
+    Drive a running server with the pipelined load generator and print
+    (or ``--json``-dump) the achieved throughput and latency.
 ``workloads``
     List the 24 standard paper workloads.
 ``telemetry [--export jsonl|prom|summary]``
@@ -229,6 +233,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         system=system,
         batch_size=args.batch_size,
         coalesce_us=args.coalesce_us,
+        wire=args.wire,
+        drain_limit=args.drain_limit,
     )
     host, port = server.address
     print(f"serving on {host}:{port} (Ctrl-C to stop)")
@@ -239,6 +245,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
         print(f"\n{server.stats}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import WorkloadShape, run_loadgen
+
+    shape = WorkloadShape(
+        num_keys=args.num_keys,
+        key_size=args.key_size,
+        value_size=args.value_size,
+        get_ratio=args.get_ratio,
+        seed=args.seed,
+    )
+    report = run_loadgen(
+        (args.host, args.port),
+        shape,
+        mode=args.mode,
+        queries=args.queries,
+        workers=args.workers,
+        depth=args.depth,
+        duration_s=args.duration,
+        rate_qps=args.rate,
+        timeout_s=args.timeout,
+        do_prefill=not args.no_prefill,
+        max_payload=args.max_payload,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report)
     return 0
 
 
@@ -338,8 +376,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--coalesce-us", type=float, default=None, metavar="US",
         help="coalescing deadline in microseconds (default: 2000)",
     )
+    p.add_argument(
+        "--wire", choices=("columnar", "legacy"), default="columnar",
+        help="wire plane: columnar window decoder or legacy per-object codec",
+    )
+    p.add_argument(
+        "--drain-limit", type=int, default=64,
+        help="datagrams drained from the kernel per receive poll (default: 64)",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen", help="drive a running server with generated load")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=11311)
+    p.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (windows in flight) or open loop (paced rate)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="closed-loop workers")
+    p.add_argument(
+        "--depth", type=int, default=4,
+        help="request datagrams in flight per closed-loop worker",
+    )
+    p.add_argument("--duration", type=float, default=2.0, help="run seconds")
+    p.add_argument(
+        "--rate", type=float, default=100_000.0,
+        help="open-loop offered queries/second",
+    )
+    p.add_argument("--queries", type=int, default=65536, help="pre-encoded tape length")
+    p.add_argument("--num-keys", type=int, default=2048)
+    p.add_argument("--key-size", type=int, default=16)
+    p.add_argument("--value-size", type=int, default=64)
+    p.add_argument("--get-ratio", type=float, default=0.95)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=2.0, help="closed-loop window timeout")
+    p.add_argument(
+        "--max-payload",
+        type=int,
+        default=48 * 1024,
+        help="request datagram size cap in bytes (1400 = one query "
+        "datagram per Ethernet MTU)",
+    )
+    p.add_argument("--no-prefill", action="store_true", help="skip the SET prefill pass")
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "telemetry", help="run a dynamic-workload simulation and export telemetry"

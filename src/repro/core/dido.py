@@ -118,8 +118,13 @@ class DidoSystem:
 
     # ------------------------------------------------------------ functional
 
-    def process(self, queries: list[Query]) -> BatchResult:
+    def process(self, queries) -> BatchResult:
         """Process one batch of queries under the adaptive pipeline.
+
+        ``queries`` is a ``list[Query]`` or a columnar
+        :class:`~repro.net.wire.QueryColumns` batch straight off the wire
+        decoder (the UDP server's hot path — no per-query objects exist
+        anywhere on it).
 
         Profiles the batch, asks the controller for the configuration (which
         re-plans only on substantial change), executes functionally, and

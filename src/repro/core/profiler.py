@@ -167,8 +167,38 @@ class WorkloadProfiler:
 
     # ------------------------------------------------------------ observing
 
-    def observe_batch(self, queries: list[Query]) -> None:
-        """Fold one batch's queries into the current window."""
+    def observe_batch(self, queries) -> None:
+        """Fold one batch's queries into the current window.
+
+        Accepts a ``list[Query]`` or a columnar
+        :class:`~repro.net.wire.QueryColumns` batch.  When the wire
+        decoder's NumPy length columns are attached, the whole batch
+        folds with three array reductions instead of a per-query loop.
+        """
+        opcodes = getattr(queries, "opcodes", None)
+        if opcodes is not None:
+            gets = int((opcodes == 1).sum())
+            non_gets = len(queries) - gets
+            self._gets += gets
+            self._sets += non_gets
+            self._key_bytes += int(queries.key_lens.sum())
+            # Non-SET queries carry no value (wire-validated), so the
+            # column total is exactly the SET payload bytes.
+            self._value_bytes += int(queries.value_lens.sum())
+            self._value_events += non_gets
+            return
+        qtypes = getattr(queries, "qtypes", None)
+        if qtypes is not None:
+            get_type = QueryType.GET
+            for qtype, key, value in zip(qtypes, queries.keys, queries.values):
+                self._key_bytes += len(key)
+                if qtype is get_type:
+                    self._gets += 1
+                else:
+                    self._sets += 1
+                    self._value_bytes += len(value)
+                    self._value_events += 1
+            return
         for query in queries:
             self._key_bytes += len(query.key)
             if query.qtype is QueryType.GET:

@@ -9,6 +9,14 @@ one tight loop over the relevant index subset (Mega-KV-style staged batch
 kernels over columnar state), with the per-query-type subsets
 (``get_indices`` etc.) computed once at batch intake.
 
+A batch arrives either as ``list[Query]`` (the legacy path) or as a
+:class:`~repro.net.wire.QueryColumns` straight off the columnar wire
+decoder — in the latter case the plane adopts the decoder's column lists
+directly and, when the decoder left its NumPy opcode column attached,
+computes the per-type index subsets with array masks instead of a
+per-query type-dispatch loop.  No ``Query`` objects exist anywhere on
+that path.
+
 SET bookkeeping mirrors the per-query design exactly:
 
 * ``pending_inserts[i]`` is the (key, location) the MM pass produced for a
@@ -29,7 +37,7 @@ from __future__ import annotations
 from bisect import bisect_left
 
 from repro.errors import SimulationError
-from repro.kv.protocol import Query, QueryType, Response
+from repro.kv.protocol import QueryType, Response
 
 #: Shared empty candidate list sentinel (never mutated; KC only reads it).
 NO_CANDIDATES: tuple[int, ...] = ()
@@ -59,15 +67,27 @@ class BatchPlane:
         "all_indices",
         "scratch",
         "response_sizes",
+        "response_statuses",
     )
 
-    def __init__(self, queries: list[Query]):
-        self.queries = queries
+    def __init__(self, queries):
         n = len(queries)
         self.size = n
-        qtypes = self.qtypes = [q.qtype for q in queries]
-        self.keys = [q.key for q in queries]
-        self.set_values = [q.value for q in queries]
+        columnar = getattr(queries, "qtypes", None)
+        if columnar is not None:
+            #: The wire decoder's columns are adopted as-is; no per-query
+            #: objects are built (``self.queries`` stays None).
+            self.queries = None
+            qtypes = self.qtypes = columnar
+            self.keys = queries.keys
+            self.set_values = queries.values
+            opcodes = queries.opcodes
+        else:
+            self.queries = queries
+            qtypes = self.qtypes = [q.qtype for q in queries]
+            self.keys = [q.key for q in queries]
+            self.set_values = [q.value for q in queries]
+            opcodes = None
         self.candidates: list = [NO_CANDIDATES] * n
         self.locations: list[int | None] = [None] * n
         self.read_values: list[bytes | None] = [None] * n
@@ -75,23 +95,33 @@ class BatchPlane:
         self.pending_inserts: list[tuple[bytes, int] | None] = [None] * n
         self.pending_deletes: list[list[tuple[bytes, int | None]] | None] = [None] * n
         self.batch_inserts: dict[bytes, int] = {}
-        get_indices: list[int] = []
-        set_indices: list[int] = []
-        delete_indices: list[int] = []
-        search_indices: list[int] = []
-        mutation_indices: list[int] = []
-        get_type, set_type = QueryType.GET, QueryType.SET
-        for i, qtype in enumerate(qtypes):
-            if qtype is get_type:
-                get_indices.append(i)
-                search_indices.append(i)
-            elif qtype is set_type:
-                set_indices.append(i)
-                mutation_indices.append(i)
-            else:
-                delete_indices.append(i)
-                search_indices.append(i)
-                mutation_indices.append(i)
+        if opcodes is not None:
+            # One mask per subset over the wire opcode column (GET=1,
+            # SET=2, DELETE=3); `.nonzero()` keeps ascending order.
+            is_set = opcodes == 2
+            get_indices = (opcodes == 1).nonzero()[0].tolist()
+            set_indices = is_set.nonzero()[0].tolist()
+            delete_indices = (opcodes == 3).nonzero()[0].tolist()
+            search_indices = (~is_set).nonzero()[0].tolist()
+            mutation_indices = (opcodes != 1).nonzero()[0].tolist()
+        else:
+            get_indices = []
+            set_indices = []
+            delete_indices = []
+            search_indices = []
+            mutation_indices = []
+            get_type, set_type = QueryType.GET, QueryType.SET
+            for i, qtype in enumerate(qtypes):
+                if qtype is get_type:
+                    get_indices.append(i)
+                    search_indices.append(i)
+                elif qtype is set_type:
+                    set_indices.append(i)
+                    mutation_indices.append(i)
+                else:
+                    delete_indices.append(i)
+                    search_indices.append(i)
+                    mutation_indices.append(i)
         #: GET queries (KC/RD consumers).
         self.get_indices = get_indices
         #: SET queries (MM/Insert producers).
@@ -113,6 +143,13 @@ class BatchPlane:
         #: so downstream framing/chunking needs no per-response property
         #: calls.  None when the executing engine does not produce it.
         self.response_sizes: list[int] | None = None
+        #: Optional raw wire status-code column filled by the WR pass
+        #: (vector engine): ``response_statuses[i]`` equals
+        #: ``responses[i].status.value``.  Together with ``read_values``
+        #: and ``response_sizes`` this lets the columnar wire framer emit
+        #: response bytes without touching Response objects.  None when
+        #: the executing engine does not produce it.
+        self.response_statuses: list[int] | None = None
 
     def take_responses(self) -> list[Response]:
         """The completed response column; raises if any slot is empty.

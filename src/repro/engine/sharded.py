@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.engine.plane import BatchPlane
 from repro.engine.vector import VectorEngine, fnv_hash_columns
 from repro.kv.sharding import ShardedKVStore, shard_of
+from repro.net.wire import QueryColumns
 from repro.telemetry import get_telemetry
 
 try:
@@ -106,7 +107,6 @@ class ShardedEngine:
                 target, plan, plane, epoch=epoch, task_times=task_times
             )
         num_shards = store.num_shards
-        queries = plane.queries
         assignment = self._assign_shards(plane.keys, num_shards)
         shard_rows: list[list[int]] = [[] for _ in range(num_shards)]
         for row, shard in enumerate(assignment):
@@ -114,9 +114,19 @@ class ShardedEngine:
 
         inner = self._inner
         sub_planes: list[tuple[list[int], BatchPlane]] = []
+        qtypes, keys, set_values = plane.qtypes, plane.keys, plane.set_values
 
         def run_shard(shard_idx: int, rows: list[int]) -> BatchPlane:
-            sub = BatchPlane([queries[r] for r in rows])
+            # Sub-batches are carved straight from the plane's columns
+            # (works for wire-decoded batches, which carry no Query
+            # objects at all).
+            sub = BatchPlane(
+                QueryColumns(
+                    [qtypes[r] for r in rows],
+                    [keys[r] for r in rows],
+                    [set_values[r] for r in rows],
+                )
+            )
             inner.run(store.shards[shard_idx], plan, sub, epoch=epoch)
             return sub
 
@@ -134,18 +144,29 @@ class ShardedEngine:
                 sub_planes.append((rows, future.result()))
 
         responses = plane.responses
+        read_values = plane.read_values
         sizes: list[int] | None = [0] * plane.size
+        statuses: list[int] | None = [0] * plane.size
         for rows, sub in sub_planes:
             sub_responses = sub.responses
+            sub_reads = sub.read_values
             for local, row in enumerate(rows):
                 responses[row] = sub_responses[local]
+                read_values[row] = sub_reads[local]
             if sub.response_sizes is None:
                 sizes = None
             elif sizes is not None:
                 sub_sizes = sub.response_sizes
                 for local, row in enumerate(rows):
                     sizes[row] = sub_sizes[local]
+            if sub.response_statuses is None:
+                statuses = None
+            elif statuses is not None:
+                sub_statuses = sub.response_statuses
+                for local, row in enumerate(rows):
+                    statuses[row] = sub_statuses[local]
         plane.response_sizes = sizes
+        plane.response_statuses = statuses
 
         telemetry = get_telemetry()
         if telemetry.enabled:

@@ -63,6 +63,11 @@ MAX_VECTOR_KEY_BYTES = 128
 #: Wire bytes of a value-less response (status byte + length word).
 _RESPONSE_HEADER_BYTES = Response(ResponseStatus.STORED).wire_size
 
+#: Raw wire status codes for the bulk-assigned response subsets.
+_OK_CODE = ResponseStatus.OK.value
+_NOT_FOUND_CODE = ResponseStatus.NOT_FOUND.value
+_STORED_CODE = ResponseStatus.STORED.value
+
 _MASK64 = (1 << 64) - 1
 _SIG_MASK32 = (1 << 32) - 1
 
@@ -275,14 +280,27 @@ class VectorEngine(SerialEngine):
         responses = plane.responses
         read_values = plane.read_values
         ok = ResponseStatus.OK
+        # The raw status-code column mirrors the Response column so the
+        # wire framer never needs the objects: NOT_FOUND everywhere, then
+        # bulk-corrected per subset (SETs stored, GET hits OK, DELETEs
+        # copied from the answers the Delete pass already wrote).
+        statuses = [_NOT_FOUND_CODE] * plane.size
         for i in plane.set_indices:
             responses[i] = STORED_RESPONSE
+            statuses[i] = _STORED_CODE
         for i in plane.get_indices:
             value = read_values[i]
             if value is None:
                 responses[i] = NOT_FOUND_RESPONSE
             else:
                 responses[i] = Response(ok, value)
+        for row in scratch.value_rows:
+            statuses[row] = _OK_CODE
+        for i in plane.delete_indices:
+            response = responses[i]
+            if response is not None:
+                statuses[i] = response.status.value
+        plane.response_statuses = statuses
         # The response-size column: header bytes everywhere, plus the value
         # bytes of each GET hit, in one broadcast.
         sizes = np.full(plane.size, _RESPONSE_HEADER_BYTES, dtype=np.int64)

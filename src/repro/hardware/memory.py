@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 from repro.hardware.specs import PlatformSpec, ProcessorKind, ProcessorSpec
@@ -169,10 +170,16 @@ class MemorySystem:
         return self._platform.memory_bandwidth_gbs * 1e9
 
 
+@lru_cache(maxsize=4096)
 def _harmonic(n: int, theta: float) -> float:
     """Generalised harmonic number ``H_{n,theta}``; exact below the cutoff,
     Euler–Maclaurin approximation above it (store sizes reach tens of
-    millions of objects, so the exact sum is too slow)."""
+    millions of objects, so the exact sum is too slow).
+
+    Cached: a configuration search evaluates hundreds of candidate
+    pipelines against one profile, and every ``hot_fraction`` call lands
+    on the same few ``(n, theta)`` pairs — without the cache the Python
+    head sum dominates whole-server profiles."""
     if n <= 0:
         return 0.0
     cutoff = 10000

@@ -1,0 +1,466 @@
+"""Pipelined load generator for the UDP server (``repro loadgen``).
+
+A :class:`~repro.client.DidoClient` is a correctness tool: one batch in
+flight, responses decoded into objects.  Measuring the server's wire plane
+needs the opposite — datagrams pre-encoded once and replayed, several
+windows in flight, and responses *counted* (header-walked) rather than
+decoded — so the generator saturates the server instead of itself.
+
+Two driving disciplines:
+
+* **closed loop** — each worker keeps ``depth`` request datagrams in
+  flight on its own socket, waits for the responses to its window, then
+  immediately sends the next; measures sustainable throughput plus
+  per-window latency percentiles.
+* **open loop** — a sender paces datagrams at a target queries/second
+  regardless of responses while a receiver thread counts what comes back;
+  measures behaviour under offered load (the paper's client machines).
+
+Both report a :class:`LoadgenReport`; the CLI prints it or dumps JSON for
+the benchmark harness (``benchmarks/bench_wire_end_to_end.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.kv.protocol import Query, QueryType, encode_queries
+from repro.net.wire import RESPONSE_HEADER_BYTES
+from repro.server import MAX_DATAGRAM
+
+#: Keep request datagrams comfortably below the receive-buffer bound
+#: (matches :data:`repro.client._MAX_SEND_PAYLOAD`).
+MAX_SEND_PAYLOAD = 48 * 1024
+
+#: Receive-buffer request for load-generator sockets.  Response bursts for
+#: a deep window arrive faster than a worker thread drains them; the
+#: kernel default (a few hundred KiB) drops datagrams under that burst and
+#: every drop stalls a closed-loop window for its full timeout.
+_RCVBUF_BYTES = 1 << 21
+
+
+def _make_socket(timeout_s: float) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _RCVBUF_BYTES)
+    except OSError:  # pragma: no cover - platform refuses; defaults apply
+        pass
+    sock.settimeout(timeout_s)
+    return sock
+
+
+# --------------------------------------------------------------- workloads
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """What the generated queries look like."""
+
+    num_keys: int = 2048
+    key_size: int = 16
+    value_size: int = 64
+    get_ratio: float = 0.95
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise ConfigurationError("need at least one key")
+        if not 1 <= self.key_size <= 0xFFFF:
+            raise ConfigurationError("key size must fit the u16 header field")
+        if not 0 <= self.value_size <= 0xFFFFFFFF:
+            raise ConfigurationError("value size must fit the u32 header field")
+        if not 0.0 <= self.get_ratio <= 1.0:
+            raise ConfigurationError("get ratio must be within [0, 1]")
+
+
+def make_keys(shape: WorkloadShape) -> list[bytes]:
+    """The deterministic keyspace for ``shape`` (used by prefill too)."""
+    width = max(1, shape.key_size)
+    return [
+        (b"%08d" % i).rjust(width, b"k")[:width] for i in range(shape.num_keys)
+    ]
+
+
+@dataclass
+class RequestTape:
+    """Pre-encoded request datagrams, replayed verbatim by every worker.
+
+    ``payloads[i]`` holds ``counts[i]`` encoded queries and the whole tape
+    carries ``total_queries``; encoding happens once, so the measured loop
+    is sendto/recv only.  ``response_bytes[i]`` is the exact response
+    volume datagram ``i`` produces against a prefilled store (every GET
+    hits, every SET stores): the closed loop counts received *bytes*
+    against it instead of walking response headers, keeping the client
+    out of the measurement on shared CPUs.
+    """
+
+    payloads: list[bytes]
+    counts: list[int]
+    total_queries: int
+    response_bytes: list[int] = field(default_factory=list)
+
+
+def build_tape(
+    shape: WorkloadShape,
+    queries: int,
+    max_payload: int = MAX_SEND_PAYLOAD,
+) -> RequestTape:
+    """Encode ``queries`` random GET/SET queries into datagram payloads."""
+    if queries < 1:
+        raise ConfigurationError("need at least one query")
+    rng = random.Random(shape.seed)
+    keys = make_keys(shape)
+    value = b"v" * shape.value_size
+    # Response wire sizes against a prefilled store: GET hits return the
+    # stored value, SETs return a bare STORED status.
+    get_response = RESPONSE_HEADER_BYTES + shape.value_size
+    set_response = RESPONSE_HEADER_BYTES
+    payloads: list[bytes] = []
+    counts: list[int] = []
+    response_bytes: list[int] = []
+    group: list[Query] = []
+    size = 0
+    reply = 0
+    for _ in range(queries):
+        key = keys[rng.randrange(shape.num_keys)]
+        if rng.random() < shape.get_ratio:
+            query = Query(QueryType.GET, key)
+            answer = get_response
+        else:
+            query = Query(QueryType.SET, key, value)
+            answer = set_response
+        wire = query.wire_size
+        if group and size + wire > max_payload:
+            payloads.append(encode_queries(group))
+            counts.append(len(group))
+            response_bytes.append(reply)
+            group, size, reply = [], 0, 0
+        group.append(query)
+        size += wire
+        reply += answer
+    if group:
+        payloads.append(encode_queries(group))
+        counts.append(len(group))
+        response_bytes.append(reply)
+    return RequestTape(
+        payloads=payloads,
+        counts=counts,
+        total_queries=queries,
+        response_bytes=response_bytes,
+    )
+
+
+def prefill(address: tuple[str, int], shape: WorkloadShape, batch: int = 512) -> int:
+    """SET every key of the keyspace so GETs during the run mostly hit."""
+    from repro.client import DidoClient
+
+    keys = make_keys(shape)
+    value = b"v" * shape.value_size
+    stored = 0
+    with DidoClient(address, timeout_s=5.0) as client:
+        for start in range(0, len(keys), batch):
+            group = [
+                Query(QueryType.SET, key, value)
+                for key in keys[start : start + batch]
+            ]
+            stored += len(client.execute(group))
+    return stored
+
+
+def count_responses(payload: bytes) -> int:
+    """Messages in one response datagram, by walking the headers only."""
+    count = 0
+    offset = 0
+    end = len(payload)
+    while offset + RESPONSE_HEADER_BYTES <= end:
+        value_len = int.from_bytes(
+            payload[offset + 1 : offset + RESPONSE_HEADER_BYTES], "little"
+        )
+        offset += RESPONSE_HEADER_BYTES + value_len
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------- reports
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one load-generator run."""
+
+    mode: str
+    duration_s: float
+    workers: int
+    depth: int
+    queries_sent: int
+    responses_received: int
+    timeouts: int
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def qps(self) -> float:
+        """Answered queries per second (the throughput that matters)."""
+        return self.responses_received / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        return self.queries_sent / self.duration_s if self.duration_s else 0.0
+
+    def latency_ms(self, quantile: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "duration_s": round(self.duration_s, 4),
+            "workers": self.workers,
+            "depth": self.depth,
+            "queries_sent": self.queries_sent,
+            "responses_received": self.responses_received,
+            "timeouts": self.timeouts,
+            "qps": round(self.qps, 1),
+            "offered_qps": round(self.offered_qps, 1),
+            "latency_p50_ms": round(self.latency_ms(0.50), 3),
+            "latency_p95_ms": round(self.latency_ms(0.95), 3),
+            "latency_p99_ms": round(self.latency_ms(0.99), 3),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mode}: {self.qps:,.0f} qps "
+            f"({self.responses_received:,}/{self.queries_sent:,} answered in "
+            f"{self.duration_s:.2f}s, {self.workers} workers x depth {self.depth}, "
+            f"p50 {self.latency_ms(0.5):.2f}ms p99 {self.latency_ms(0.99):.2f}ms, "
+            f"{self.timeouts} timeouts)"
+        )
+
+
+# ------------------------------------------------------------ closed loop
+
+
+def _closed_worker(
+    address: tuple[str, int],
+    tape: RequestTape,
+    depth: int,
+    stop_at: float,
+    timeout_s: float,
+    out: dict,
+) -> None:
+    sock = _make_socket(timeout_s)
+    sent = received = timeouts = 0
+    latencies: list[float] = []
+    cursor = 0
+    num_payloads = len(tape.payloads)
+    # Tapes built by build_tape know the exact response volume of every
+    # datagram (prefilled store), so the wait can count received bytes —
+    # one len() per response datagram instead of a header walk per
+    # response, which matters when client and server share cores.
+    by_bytes = len(tape.response_bytes) == num_payloads
+    try:
+        while time.monotonic() < stop_at:
+            expected = 0
+            expected_bytes = 0
+            t0 = time.perf_counter()
+            for _ in range(depth):
+                sock.sendto(tape.payloads[cursor], address)
+                expected += tape.counts[cursor]
+                if by_bytes:
+                    expected_bytes += tape.response_bytes[cursor]
+                cursor = (cursor + 1) % num_payloads
+            sent += expected
+            if by_bytes:
+                got_bytes = 0
+                while got_bytes < expected_bytes:
+                    try:
+                        payload = sock.recv(MAX_DATAGRAM)
+                    except socket.timeout:
+                        timeouts += 1
+                        break  # window lost (UDP); move on
+                    got_bytes += len(payload)
+                if got_bytes >= expected_bytes:
+                    received += expected
+                    latencies.append((time.perf_counter() - t0) * 1e3)
+                else:
+                    # Pro-rate the partial window (responses are not
+                    # individually identifiable without a header walk).
+                    received += expected * got_bytes // max(1, expected_bytes)
+                continue
+            got = 0
+            while got < expected:
+                try:
+                    payload = sock.recv(MAX_DATAGRAM)
+                except socket.timeout:
+                    timeouts += 1
+                    break  # window lost (UDP); move on
+                got += count_responses(payload)
+            received += got
+            if got >= expected:
+                latencies.append((time.perf_counter() - t0) * 1e3)
+    finally:
+        sock.close()
+    out["sent"] = sent
+    out["received"] = received
+    out["timeouts"] = timeouts
+    out["latencies"] = latencies
+
+
+def run_closed_loop(
+    address: tuple[str, int],
+    tape: RequestTape,
+    *,
+    workers: int = 2,
+    depth: int = 4,
+    duration_s: float = 2.0,
+    timeout_s: float = 2.0,
+) -> LoadgenReport:
+    """Drive ``workers`` closed loops, each ``depth`` datagrams in flight."""
+    if workers < 1 or depth < 1:
+        raise ConfigurationError("workers and depth must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    outs: list[dict] = [{} for _ in range(workers)]
+    start = time.monotonic()
+    stop_at = start + duration_s
+    threads = [
+        threading.Thread(
+            target=_closed_worker,
+            args=(address, tape, depth, stop_at, timeout_s, out),
+            daemon=True,
+        )
+        for out in outs
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - start
+    latencies: list[float] = []
+    for out in outs:
+        latencies.extend(out.get("latencies", ()))
+    return LoadgenReport(
+        mode="closed",
+        duration_s=elapsed,
+        workers=workers,
+        depth=depth,
+        queries_sent=sum(out.get("sent", 0) for out in outs),
+        responses_received=sum(out.get("received", 0) for out in outs),
+        timeouts=sum(out.get("timeouts", 0) for out in outs),
+        latencies_ms=latencies,
+    )
+
+
+# -------------------------------------------------------------- open loop
+
+
+def run_open_loop(
+    address: tuple[str, int],
+    tape: RequestTape,
+    *,
+    rate_qps: float = 100_000.0,
+    duration_s: float = 2.0,
+    drain_s: float = 0.25,
+) -> LoadgenReport:
+    """Offer ``rate_qps`` regardless of responses; count what comes back.
+
+    One socket: the sender paces request datagrams on it while a receiver
+    thread counts response messages, then a short drain window collects
+    stragglers after the last send.
+    """
+    if rate_qps <= 0 or duration_s <= 0:
+        raise ConfigurationError("rate and duration must be positive")
+    sock = _make_socket(0.05)
+    received = 0
+    receiving = threading.Event()
+    receiving.set()
+
+    def _receiver() -> None:
+        nonlocal received
+        while receiving.is_set():
+            try:
+                payload = sock.recv(MAX_DATAGRAM)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            received += count_responses(payload)
+
+    receiver = threading.Thread(target=_receiver, daemon=True)
+    receiver.start()
+    sent = 0
+    cursor = 0
+    num_payloads = len(tape.payloads)
+    start = time.monotonic()
+    stop_at = start + duration_s
+    try:
+        while True:
+            now = time.monotonic()
+            if now >= stop_at:
+                break
+            # Send whatever the pacing schedule says is due by now.
+            due = int((now - start) * rate_qps)
+            while sent < due:
+                sock.sendto(tape.payloads[cursor], address)
+                sent += tape.counts[cursor]
+                cursor = (cursor + 1) % num_payloads
+            time.sleep(0.001)
+        time.sleep(drain_s)
+    finally:
+        elapsed = time.monotonic() - start
+        receiving.clear()
+        receiver.join(timeout=1.0)
+        sock.close()
+    return LoadgenReport(
+        mode="open",
+        duration_s=elapsed,
+        workers=1,
+        depth=1,
+        queries_sent=sent,
+        responses_received=received,
+        timeouts=0,
+    )
+
+
+# -------------------------------------------------------------- front door
+
+
+def run_loadgen(
+    address: tuple[str, int],
+    shape: WorkloadShape,
+    *,
+    mode: str = "closed",
+    queries: int = 65536,
+    workers: int = 2,
+    depth: int = 4,
+    duration_s: float = 2.0,
+    rate_qps: float = 100_000.0,
+    timeout_s: float = 2.0,
+    do_prefill: bool = True,
+    max_payload: int = MAX_SEND_PAYLOAD,
+) -> LoadgenReport:
+    """Prefill, build the request tape, and run the chosen discipline."""
+    if mode not in ("closed", "open"):
+        raise ConfigurationError(f"mode must be 'closed' or 'open', not {mode!r}")
+    if do_prefill:
+        prefill(address, shape)
+    tape = build_tape(shape, queries, max_payload=max_payload)
+    if mode == "closed":
+        return run_closed_loop(
+            address,
+            tape,
+            workers=workers,
+            depth=depth,
+            duration_s=duration_s,
+            timeout_s=timeout_s,
+        )
+    return run_open_loop(
+        address, tape, rate_qps=rate_qps, duration_s=duration_s
+    )

@@ -14,13 +14,31 @@ from repro.net.packets import (
     frames_for_queries,
     frames_for_responses,
 )
+from repro.net.wire import (
+    QueryColumns,
+    WindowParseError,
+    chunk_response_payloads,
+    cut_frame_bounds,
+    decode_payload,
+    decode_window,
+    encode_response_window,
+    frames_for_response_columns,
+)
 
 __all__ = [
     "ETHERNET_MTU",
     "FRAME_HEADER_BYTES",
     "Frame",
     "NICStats",
+    "QueryColumns",
     "SimulatedNIC",
+    "WindowParseError",
+    "chunk_response_payloads",
+    "cut_frame_bounds",
+    "decode_payload",
+    "decode_window",
+    "encode_response_window",
     "frames_for_queries",
+    "frames_for_response_columns",
     "frames_for_responses",
 ]

@@ -57,26 +57,34 @@ def frames_for_responses(responses: list[Response], mtu: int = ETHERNET_MTU) -> 
 
 
 def _pack(messages, encode, mtu: int) -> list[Frame]:
+    """Greedy first-fit frame packing over per-message encodings.
+
+    Each message is encoded exactly once; its encoded length doubles as
+    the wire-size probe, and frame payloads are joins of the encodings
+    already in hand (the codecs are plain per-message concatenations, so
+    this is byte-identical to encoding each frame's group in one call).
+    """
     frames: list[Frame] = []
-    current: list = []
+    parts: list[bytes] = []
     current_bytes = 0
 
     def flush() -> None:
-        nonlocal current, current_bytes
-        if current:
-            frames.append(Frame(encode(current), query_count=len(current)))
-            current = []
+        nonlocal parts, current_bytes
+        if parts:
+            frames.append(Frame(b"".join(parts), query_count=len(parts)))
+            parts = []
             current_bytes = 0
 
     for message in messages:
-        size = message.wire_size
+        encoded = encode((message,))
+        size = len(encoded)
         if size > mtu:
             flush()
-            frames.append(Frame(encode([message]), query_count=1))
+            frames.append(Frame(encoded, query_count=1))
             continue
         if current_bytes + size > mtu:
             flush()
-        current.append(message)
+        parts.append(encoded)
         current_bytes += size
     flush()
     return frames

@@ -26,7 +26,6 @@ framing (SD), and telemetry emission.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 from repro.core.pipeline_config import PipelineConfig
 from repro.core.tasks import Task
@@ -40,23 +39,75 @@ from repro.engine import (
 from repro.kv.protocol import Query, Response, ResponseStatus, decode_queries
 from repro.kv.store import KVStore
 from repro.net.packets import Frame, frames_for_responses
+from repro.net.wire import frames_for_response_columns
 from repro.telemetry import get_telemetry, stage_span, steal_event
 
+_ERROR_CODE = ResponseStatus.ERROR.value
 
-@dataclass
+
 class BatchResult:
-    """Outcome of one functional batch."""
+    """Outcome of one functional batch.
 
-    responses: list[Response]
-    frames: list[Frame]
-    config_label: str
-    steal_claims: dict[str, int] = field(default_factory=dict)
-    #: Wire size per response when the engine computed the column
-    #: (vector/sharded backends); None otherwise.
-    response_sizes: list[int] | None = None
+    ``frames`` (the SD task's MTU-packed output for the simulated NIC
+    path) is materialised lazily: the UDP server sends datagrams straight
+    from the response columns and never reads it, so per-batch frame
+    packing would be pure overhead there.  First access builds the frames
+    — through the columnar wire framer when the engine produced the
+    status/size columns, else through the legacy per-Response packing —
+    and caches them.
+    """
+
+    __slots__ = (
+        "responses",
+        "config_label",
+        "steal_claims",
+        "response_sizes",
+        "response_statuses",
+        "response_values",
+        "_frames",
+    )
+
+    def __init__(
+        self,
+        responses: list[Response],
+        config_label: str,
+        steal_claims: dict[str, int] | None = None,
+        frames: list[Frame] | None = None,
+        response_sizes: list[int] | None = None,
+        response_statuses: list[int] | None = None,
+        response_values: list[bytes | None] | None = None,
+    ):
+        self.responses = responses
+        self.config_label = config_label
+        self.steal_claims = steal_claims if steal_claims is not None else {}
+        #: Wire size per response when the engine computed the column
+        #: (vector/sharded backends); None otherwise.
+        self.response_sizes = response_sizes
+        #: Raw wire status codes per response (same backends); None
+        #: otherwise.
+        self.response_statuses = response_statuses
+        #: Per-response value bytes (None for value-less responses) —
+        #: the plane's read-value column, present with the status column.
+        self.response_values = response_values
+        self._frames = frames
+
+    @property
+    def frames(self) -> list[Frame]:
+        if self._frames is None:
+            self._frames = self._build_frames()
+        return self._frames
+
+    def _build_frames(self) -> list[Frame]:
+        if self.response_statuses is not None:
+            return frames_for_response_columns(
+                self.response_statuses, self.response_values, self.response_sizes
+            )
+        return frames_for_responses(self.responses)
 
     @property
     def ok_count(self) -> int:
+        if self.response_statuses is not None:
+            return sum(1 for s in self.response_statuses if s != _ERROR_CODE)
         return sum(1 for r in self.responses if r.status is not ResponseStatus.ERROR)
 
 
@@ -110,8 +161,13 @@ class FunctionalPipeline:
             return self._stealing
         return self._serial
 
-    def process_batch(self, config: PipelineConfig, queries: list[Query]) -> BatchResult:
-        """Run one batch through every stage of ``config`` in order."""
+    def process_batch(self, config: PipelineConfig, queries) -> BatchResult:
+        """Run one batch through every stage of ``config`` in order.
+
+        ``queries`` is a ``list[Query]`` or a columnar
+        :class:`~repro.net.wire.QueryColumns` batch from the wire
+        decoder; both produce identical results.
+        """
         telemetry = get_telemetry()
         collect = telemetry.enabled
         pp_us, self._pp_hint_us = self._pp_hint_us, 0.0
@@ -133,21 +189,28 @@ class FunctionalPipeline:
             task_times=task_times,
         )
         responses = plane.take_responses()
-        t_send = time.perf_counter() if collect else 0.0
-        frames = frames_for_responses(responses)
         self._batch_counter += 1
+        result = BatchResult(
+            responses=responses,
+            config_label=config.label,
+            steal_claims=steal_claims,
+            response_sizes=plane.response_sizes,
+            response_statuses=plane.response_statuses,
+            response_values=plane.read_values
+            if plane.response_statuses is not None
+            else None,
+        )
         if collect:
+            # Frame eagerly under telemetry so the SD span stays a real
+            # measurement of response framing; otherwise frames build
+            # lazily on first access (the UDP server never needs them).
+            t_send = time.perf_counter()
+            result.frames  # noqa: B018 - builds and caches the frames
             task_times[Task.SD] = (time.perf_counter() - t_send) * 1e6
             self._emit_batch(
                 telemetry, config, engine, task_times, steal_claims, len(queries)
             )
-        return BatchResult(
-            responses=responses,
-            frames=frames,
-            config_label=config.label,
-            steal_claims=steal_claims,
-            response_sizes=plane.response_sizes,
-        )
+        return result
 
     def _emit_batch(
         self,

@@ -18,6 +18,23 @@ carry-over depth, batch fill ratio, and (on sharded stores) shard
 imbalance are exported as gauges so the coalescing behaviour is observable
 via ``repro telemetry``.
 
+Two wire planes share the loop (selected by ``wire=``):
+
+* ``"columnar"`` (default) — each poll drains up to ``drain_limit``
+  datagrams from the kernel and decodes the whole window in one pass with
+  :func:`repro.net.wire.decode_window` into :class:`~repro.net.wire.QueryColumns`
+  segments (zero per-query objects); responses go out through the
+  single-pass columnar framer (:func:`~repro.net.wire.encode_response_window`
+  + :func:`~repro.net.wire.chunk_response_payloads`).
+* ``"legacy"`` — the original per-datagram
+  :func:`~repro.kv.protocol.decode_queries` / per-:class:`Response`
+  :func:`~repro.kv.protocol.encode_responses` object path, kept as the
+  benchmark baseline and the semantic reference.
+
+Either way a malformed datagram is dropped (never crashes the serve
+loop): the peer is logged, ``stats.protocol_errors`` increments, and the
+``repro_wire_parse_errors_total`` counter records it per wire plane.
+
 Usage::
 
     server = DidoUDPServer(("127.0.0.1", 0), system=DidoSystem(...))
@@ -26,7 +43,8 @@ Usage::
         ...                     # clients talk to server.address
     # or blocking: server.serve_forever()
 
-See :mod:`repro.client` for the matching client.
+See :mod:`repro.client` for the matching client and :mod:`repro.loadgen`
+for the load-generator used by the wire benchmarks.
 """
 
 from __future__ import annotations
@@ -45,6 +63,12 @@ from repro.kv.protocol import (
     decode_queries,
     encode_responses,
 )
+from repro.net.wire import (
+    QueryColumns,
+    chunk_response_payloads,
+    decode_window,
+    encode_response_window,
+)
 from repro.telemetry import get_telemetry
 
 logger = logging.getLogger("repro.server")
@@ -61,6 +85,14 @@ DEFAULT_BATCH_SIZE = 4096
 
 #: Responses per outgoing datagram are bounded by this payload size.
 MAX_RESPONSE_PAYLOAD = 32 * 1024
+
+#: Datagrams drained from the kernel per poll (one blocking receive plus
+#: up to ``drain_limit - 1`` non-blocking ones).
+DEFAULT_DRAIN_LIMIT = 64
+
+#: Ask the kernel for this much socket receive buffer so bursts from the
+#: load generator survive between polls (best-effort).
+_RCVBUF_BYTES = 1 << 21
 
 
 @dataclass
@@ -99,6 +131,12 @@ class DidoUDPServer:
     shards:
         Shard count for the default-created system; ignored when an
         explicit ``system`` is passed.
+    wire:
+        ``"columnar"`` (default) for the zero-copy window decoder and
+        single-pass response framer; ``"legacy"`` for the per-object
+        codec path.
+    drain_limit:
+        Upper bound on datagrams taken from the kernel per poll.
     """
 
     def __init__(
@@ -110,6 +148,8 @@ class DidoUDPServer:
         batch_size: int = DEFAULT_BATCH_SIZE,
         coalesce_us: float | None = None,
         shards: int = 1,
+        wire: str = "columnar",
+        drain_limit: int = DEFAULT_DRAIN_LIMIT,
     ):
         if coalesce_us is not None:
             if coalesce_us < 0:
@@ -119,17 +159,33 @@ class DidoUDPServer:
             raise ConfigurationError("batch window must be non-negative")
         if batch_size < 1:
             raise ConfigurationError("batch size must be positive")
+        if wire not in ("columnar", "legacy"):
+            raise ConfigurationError(
+                f"wire plane must be 'columnar' or 'legacy', not {wire!r}"
+            )
+        if drain_limit < 1:
+            raise ConfigurationError("drain limit must be positive")
         self.system = system or DidoSystem(
             memory_bytes=64 << 20, expected_objects=65536, engine=engine, shards=shards
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _RCVBUF_BYTES)
+        except OSError:  # pragma: no cover - platform refuses; defaults apply
+            pass
         self._socket.bind(address)
         self._socket.settimeout(0.1)
         self._batch_window_s = batch_window_s
         self._batch_size = batch_size
+        self.wire = wire
+        self._drain_limit = drain_limit
         #: Queries received but not yet dispatched (the carry-over queue):
-        #: ``(queries, peer)`` groups, oldest first.
-        self._backlog: list[tuple[list[Query], tuple[str, int]]] = []
+        #: ``(segment, peer)`` groups, oldest first.  A segment is a
+        #: ``list[Query]`` (legacy plane) or a
+        #: :class:`~repro.net.wire.QueryColumns` slice (columnar plane);
+        #: both support ``len`` and row slicing, which is all the
+        #: coalescer needs.
+        self._backlog: list[tuple[object, tuple[str, int]]] = []
         self._running = threading.Event()
         self._thread: threading.Thread | None = None
         self.stats = ServerStats()
@@ -177,7 +233,14 @@ class DidoUDPServer:
         """Blocking serve loop (also the body of the background thread)."""
         self._running.set()
         while self._running.is_set():
-            self._serve_one_window()
+            try:
+                self._serve_one_window()
+            except ProtocolError as exc:  # pragma: no cover - belt and braces
+                # Decode errors are handled per datagram inside the window;
+                # this guard keeps any future decode path from killing the
+                # serve loop on hostile input.
+                self.stats.protocol_errors += 1
+                logger.warning("dropping undecodable window: %s", exc)
 
     # ------------------------------------------------------------- serving
 
@@ -188,13 +251,19 @@ class DidoUDPServer:
         batch.  The deadline clock starts at the first query (whether
         carried over or freshly received), so a carried-over partial batch
         is never starved waiting for traffic that may not come.
+
+        Each poll takes one blocking receive and then drains whatever else
+        the kernel already queued (up to ``drain_limit`` datagrams) without
+        blocking, so under load the whole burst is decoded as one window.
         """
         pending = self._backlog
         self._backlog = []
-        count = sum(len(queries) for queries, _ in pending)
+        count = sum(len(segment) for segment, _ in pending)
         deadline = (
             time.monotonic() + self._batch_window_s if pending else None
         )
+        polls = 0
+        drained = 0
         while count < self._batch_size:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -208,54 +277,126 @@ class DidoUDPServer:
             except OSError:
                 self._backlog = pending
                 return  # socket closed under us during stop()
-            self.stats.datagrams_in += 1
-            try:
-                queries = decode_queries(payload)
-            except ProtocolError as exc:
-                self.stats.protocol_errors += 1
-                logger.warning("dropping undecodable datagram from %s: %s", peer, exc)
-                telemetry = get_telemetry()
-                if telemetry.enabled:
-                    telemetry.registry.counter(
-                        "repro_server_protocol_errors_total",
-                        help="Datagrams dropped as unparseable",
-                    ).inc()
-                continue
-            if queries:
-                pending.append((queries, peer))
-                count += len(queries)
+            payloads = [payload]
+            peers = [peer]
+            # Burst drain: take what the kernel already queued, no waiting.
+            self._socket.settimeout(0.0)
+            while len(payloads) < self._drain_limit:
+                try:
+                    payload, peer = self._socket.recvfrom(MAX_DATAGRAM)
+                except (BlockingIOError, InterruptedError, socket.timeout):
+                    break
+                except OSError:
+                    break  # closing; process what we already have
+                payloads.append(payload)
+                peers.append(peer)
+            polls += 1
+            drained += len(payloads)
+            self.stats.datagrams_in += len(payloads)
+            count += self._ingest(payloads, peers, pending)
             if deadline is None:
                 deadline = time.monotonic() + self._batch_window_s
         self._socket.settimeout(0.1)
+        if polls:
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.registry.gauge(
+                    "repro_datagrams_per_poll",
+                    help="Datagrams drained from the kernel per receive poll",
+                ).set(drained / polls)
         if not pending:
             return
         batch = self._cut_batch(pending)
         self._process_window(batch)
 
-    def _cut_batch(self, pending) -> list[tuple[list[Query], tuple[str, int]]]:
+    def _ingest(
+        self,
+        payloads: list[bytes],
+        peers: list[tuple[str, int]],
+        pending: list,
+    ) -> int:
+        """Decode one drained group of datagrams into ``pending`` segments.
+
+        Returns the number of queries added.  Malformed datagrams are
+        dropped with a log line naming the peer and the
+        ``repro_wire_parse_errors_total`` counter; decode errors never
+        propagate.
+        """
+        telemetry = get_telemetry()
+        added = 0
+        if self.wire == "columnar":
+            t0 = time.perf_counter_ns()
+            segments, errors = decode_window(payloads)
+            parse_ns = time.perf_counter_ns() - t0
+            for error in errors:
+                self.stats.protocol_errors += 1
+                logger.warning(
+                    "dropping undecodable datagram from %s: %s",
+                    peers[error.datagram],
+                    error.message,
+                )
+            if telemetry.enabled:
+                telemetry.registry.histogram(
+                    "repro_wire_parse_ns",
+                    help="Wire decode time per drained datagram window (ns)",
+                ).observe(parse_ns)
+                if errors:
+                    telemetry.registry.counter(
+                        "repro_wire_parse_errors_total",
+                        help="Datagrams dropped as unparseable",
+                    ).inc(len(errors), wire="columnar")
+            for segment, peer in zip(segments, peers):
+                if len(segment):
+                    pending.append((segment, peer))
+                    added += len(segment)
+            return added
+        t0 = time.perf_counter_ns()
+        for payload, peer in zip(payloads, peers):
+            try:
+                queries = decode_queries(payload)
+            except ProtocolError as exc:
+                self.stats.protocol_errors += 1
+                logger.warning("dropping undecodable datagram from %s: %s", peer, exc)
+                if telemetry.enabled:
+                    telemetry.registry.counter(
+                        "repro_wire_parse_errors_total",
+                        help="Datagrams dropped as unparseable",
+                    ).inc(wire="legacy")
+                continue
+            if queries:
+                pending.append((queries, peer))
+                added += len(queries)
+        if telemetry.enabled:
+            telemetry.registry.histogram(
+                "repro_wire_parse_ns",
+                help="Wire decode time per drained datagram window (ns)",
+            ).observe(time.perf_counter_ns() - t0)
+        return added
+
+    def _cut_batch(self, pending) -> list[tuple[object, tuple[str, int]]]:
         """Take up to ``batch_size`` queries; the excess becomes backlog.
 
         A datagram straddling the cutoff is split — its tail queries keep
         their peer attribution and run first in the next batch, so each
         peer still sees its responses in submission order.
         """
-        batch: list[tuple[list[Query], tuple[str, int]]] = []
+        batch: list[tuple[object, tuple[str, int]]] = []
         taken = 0
-        for i, (queries, peer) in enumerate(pending):
+        for i, (segment, peer) in enumerate(pending):
             room = self._batch_size - taken
-            if len(queries) <= room:
-                batch.append((queries, peer))
-                taken += len(queries)
+            if len(segment) <= room:
+                batch.append((segment, peer))
+                taken += len(segment)
             else:
                 if room:
-                    batch.append((queries[:room], peer))
+                    batch.append((segment[:room], peer))
                     taken += room
-                self._backlog.append((queries[room:], peer))
+                self._backlog.append((segment[room:], peer))
                 self._backlog.extend(pending[i + 1 :])
                 break
         telemetry = get_telemetry()
         if telemetry.enabled:
-            depth = sum(len(queries) for queries, _ in self._backlog)
+            depth = sum(len(segment) for segment, _ in self._backlog)
             telemetry.registry.gauge(
                 "repro_server_queue_depth",
                 help="Queries carried over past the batch-size cutoff",
@@ -267,11 +408,18 @@ class DidoUDPServer:
         return batch
 
     def _process_window(self, pending) -> None:
-        batch: list[Query] = []
-        owners: list[tuple[str, int]] = []
-        for queries, peer in pending:
-            batch.extend(queries)
-            owners.extend([peer] * len(queries))
+        segments = [segment for segment, _ in pending]
+        if len(segments) == 1 and isinstance(segments[0], QueryColumns):
+            batch = segments[0]
+        elif all(isinstance(segment, QueryColumns) for segment in segments):
+            batch = QueryColumns.concat(segments)
+        else:
+            batch = []
+            for segment in segments:
+                if isinstance(segment, QueryColumns):
+                    batch.extend(segment.to_queries())
+                else:
+                    batch.extend(segment)
         result = self.system.process(batch)
         self.stats.queries += len(batch)
         self.stats.batches += 1
@@ -289,6 +437,58 @@ class DidoUDPServer:
                     "repro_server_query_errors_total",
                     help="Queries answered with an error status",
                 ).inc(errors)
+        if self.wire == "columnar" and result.response_statuses is not None:
+            self._send_columnar(pending, result, telemetry)
+        else:
+            self._send_legacy(pending, result)
+
+    def _send_columnar(self, pending, result, telemetry) -> None:
+        """TX through the single-pass framer: one shared buffer, peer
+        datagrams cut as ``(start, stop)`` row ranges over it."""
+        t0 = time.perf_counter_ns()
+        buffer, offsets = encode_response_window(
+            result.response_statuses, result.response_values, result.response_sizes
+        )
+        # Contiguous row ranges per peer, in first-arrival order; adjacent
+        # segments from the same peer merge into one range.
+        ranges: dict[tuple[str, int], list[list[int]]] = {}
+        order: list[tuple[str, int]] = []
+        row = 0
+        for segment, peer in pending:
+            stop = row + len(segment)
+            peer_ranges = ranges.get(peer)
+            if peer_ranges is None:
+                ranges[peer] = peer_ranges = []
+                order.append(peer)
+            if peer_ranges and peer_ranges[-1][1] == row:
+                peer_ranges[-1][1] = stop
+            else:
+                peer_ranges.append([row, stop])
+            row = stop
+        payload_groups = [
+            (peer, chunk_response_payloads(buffer, offsets, ranges[peer], MAX_RESPONSE_PAYLOAD))
+            for peer in order
+        ]
+        frame_ns = time.perf_counter_ns() - t0
+        if telemetry.enabled:
+            telemetry.registry.histogram(
+                "repro_wire_frame_ns",
+                help="Columnar response framing time per batch (ns)",
+            ).observe(frame_ns)
+        for peer, payloads in payload_groups:
+            for payload in payloads:
+                try:
+                    self._socket.sendto(payload, peer)
+                    self.stats.datagrams_out += 1
+                except OSError:  # pragma: no cover - peer vanished
+                    break
+
+    def _send_legacy(self, pending, result) -> None:
+        """TX through the per-object codec (legacy plane, or an engine
+        that produced no response columns)."""
+        owners: list[tuple[str, int]] = []
+        for segment, peer in pending:
+            owners.extend([peer] * len(segment))
         # Regroup responses per peer, preserving per-peer order.  When the
         # engine produced the response-size column (vector/sharded), chunking
         # reads precomputed sizes instead of per-response wire_size calls.

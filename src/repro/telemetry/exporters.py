@@ -199,12 +199,21 @@ def _family_of(series_name: str, families: dict[str, dict]) -> str | None:
 # ----------------------------------------------------------------- console
 
 #: The batch-coalescing gauges the console summary calls out explicitly
-#: (queue carry-over, batch fill vs target, shard balance) — the knobs an
-#: operator tunes ``--batch-size``/``--coalesce-us``/``--shards`` against.
+#: (queue carry-over, batch fill vs target, shard balance, receive-loop
+#: drain depth) — the knobs an operator tunes ``--batch-size``/
+#: ``--coalesce-us``/``--shards``/``--drain-limit`` against.
 COALESCING_SERIES = (
     "repro_server_queue_depth",
     "repro_batch_fill_ratio",
     "repro_shard_imbalance",
+    "repro_datagrams_per_poll",
+)
+
+#: Wire-plane timers shown next to the coalescing gauges: window decode
+#: and columnar response framing (nanoseconds per batch window).
+WIRE_TIMER_SERIES = (
+    "repro_wire_parse_ns",
+    "repro_wire_frame_ns",
 )
 
 
@@ -227,13 +236,21 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
                 label_text = f"{{{labels}}}" if labels else ""
                 lines.append(f"  {name}{label_text}: {value:g}")
     recorded = [name for name in COALESCING_SERIES if name in snapshot]
-    if recorded:
+    timers = [name for name in WIRE_TIMER_SERIES if name in snapshot]
+    if recorded or timers:
         lines.append("")
         lines.append("batch coalescing")
         for name in recorded:
             for labels, value in sorted(snapshot[name]["samples"].items()):
                 label_text = f"{{{labels}}}" if labels else ""
                 lines.append(f"  {name}{label_text}: {value:g}")
+        for name in timers:
+            for labels, slot in sorted(snapshot[name]["samples"].items()):
+                mean = slot["sum"] / slot["count"] if slot["count"] else 0.0
+                label_text = f"{{{labels}}}" if labels else ""
+                lines.append(
+                    f"  {name}{label_text}: n={slot['count']} mean={mean / 1e3:.1f}us"
+                )
     events = telemetry.events.snapshot()
     replans = [e for e in events if e.kind == "replan"]
     lines.append("")

@@ -216,6 +216,94 @@ class TestCoalescing:
             configure(enabled=False)
 
 
+class TestWirePlanes:
+    def make_server(self, **kwargs):
+        system = DidoSystem(memory_bytes=16 << 20, expected_objects=8192, engine="vector")
+        return DidoUDPServer(("127.0.0.1", 0), system=system, **kwargs)
+
+    def test_invalid_wire_and_drain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_server(wire="simd")
+        with pytest.raises(ConfigurationError):
+            self.make_server(drain_limit=0)
+
+    @pytest.mark.parametrize("wire", ["columnar", "legacy"])
+    def test_round_trip_identical_across_planes(self, wire):
+        srv = self.make_server(wire=wire, batch_window_s=0.001)
+        srv.start()
+        try:
+            with DidoClient(srv.address, timeout_s=5.0) as client:
+                sets = [
+                    Query(QueryType.SET, b"w%d" % i, b"val%d" % i) for i in range(40)
+                ]
+                assert all(
+                    r.status is ResponseStatus.STORED for r in client.execute(sets)
+                )
+                gets = [Query(QueryType.GET, b"w%d" % i) for i in range(40)]
+                assert [r.value for r in client.execute(gets)] == [
+                    b"val%d" % i for i in range(40)
+                ]
+                assert client.get(b"nope") is None
+                assert client.delete(b"w0")
+        finally:
+            srv.stop()
+
+    @pytest.mark.parametrize("wire", ["columnar", "legacy"])
+    def test_parse_errors_counted_per_plane(self, wire):
+        from repro.telemetry import configure, get_telemetry
+
+        configure(enabled=True)
+        srv = self.make_server(wire=wire, batch_window_s=0.001)
+        srv.start()
+        try:
+            with DidoClient(srv.address, timeout_s=5.0) as client:
+                client._socket.sendto(b"\xff\xff\xff", srv.address)
+                # The serve loop survives and keeps answering.
+                assert client.set(b"alive", b"yes")
+            assert srv.stats.protocol_errors >= 1
+            counter = get_telemetry().registry.counter("repro_wire_parse_errors_total")
+            assert counter.value(wire=wire) >= 1
+        finally:
+            srv.stop()
+            configure(enabled=False)
+
+    def test_wire_timers_and_drain_gauge_exported(self):
+        from repro.telemetry import configure, get_telemetry
+
+        configure(enabled=True)
+        srv = self.make_server(wire="columnar", batch_window_s=0.001)
+        srv.start()
+        try:
+            with DidoClient(srv.address, timeout_s=5.0) as client:
+                client.set(b"k", b"v")
+                assert client.get(b"k") == b"v"
+            registry = get_telemetry().registry
+            snapshot = registry.snapshot()
+            assert "repro_wire_parse_ns" in snapshot
+            assert "repro_wire_frame_ns" in snapshot
+            gauge = dict(registry.gauge("repro_datagrams_per_poll").samples())
+            assert all(v >= 1.0 for v in gauge.values())
+        finally:
+            srv.stop()
+            configure(enabled=False)
+
+    def test_cut_batch_splits_columnar_segments(self):
+        from repro.net.wire import QueryColumns
+
+        srv = self.make_server(batch_size=3)
+        try:
+            peer = ("127.0.0.1", 4242)
+            segment = QueryColumns.from_queries(
+                [Query(QueryType.GET, b"k%d" % i) for i in range(5)]
+            )
+            batch = srv._cut_batch([(segment, peer)])
+            assert [(len(s), p) for s, p in batch] == [(3, peer)]
+            assert [(len(s), p) for s, p in srv._backlog] == [(2, peer)]
+            assert srv._backlog[0][0].keys == [b"k3", b"k4"]
+        finally:
+            srv.stop()
+
+
 class TestChunking:
     def test_chunk_responses_respects_bound(self):
         responses = [Response(ResponseStatus.OK, b"v" * 5000) for _ in range(20)]

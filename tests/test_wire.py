@@ -1,0 +1,340 @@
+"""The columnar wire plane vs the legacy dataclass codec.
+
+Every test here is an identity check: whatever the legacy per-object
+codec (:mod:`repro.kv.protocol`, :func:`repro.net.packets._pack`,
+:func:`repro.server._chunk_responses`) produces, the columnar plane
+(:mod:`repro.net.wire`) must produce byte for byte — including the exact
+:class:`~repro.errors.ProtocolError` messages on malformed input, and
+with NumPy absent (the scalar fallback).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.net.wire as wire
+from repro.errors import ProtocolError
+from repro.kv.protocol import (
+    Query,
+    QueryType,
+    Response,
+    ResponseStatus,
+    decode_queries,
+    encode_queries,
+    encode_responses,
+)
+from repro.net.packets import ETHERNET_MTU, frames_for_responses
+from repro.net.wire import (
+    QueryColumns,
+    chunk_response_payloads,
+    cut_frame_bounds,
+    decode_payload,
+    decode_window,
+    encode_response_window,
+    frames_for_response_columns,
+)
+from repro.server import MAX_RESPONSE_PAYLOAD, _chunk_responses
+
+keys = st.binary(min_size=1, max_size=64)
+#: Values reach past the MTU so oversized queries/responses are covered.
+values = st.binary(min_size=0, max_size=2 * ETHERNET_MTU)
+
+
+@st.composite
+def query_batches(draw, max_size=40):
+    """Random batches over all three opcodes, empty and oversized values."""
+    raw = draw(
+        st.lists(
+            st.tuples(st.sampled_from(list(QueryType)), keys, values),
+            max_size=max_size,
+        )
+    )
+    return [
+        Query(qtype, key, value if qtype is QueryType.SET else b"")
+        for qtype, key, value in raw
+    ]
+
+
+responses_strategy = st.lists(
+    st.tuples(st.sampled_from(list(ResponseStatus)), values), max_size=40
+)
+
+
+@pytest.fixture(params=["vector", "scalar"])
+def wire_mode(request, monkeypatch):
+    """Run the wrapped test twice: NumPy path and the no-NumPy fallback."""
+    if request.param == "scalar":
+        monkeypatch.setattr(wire, "np", None)
+    return request.param
+
+
+def columns_equal_queries(columns: QueryColumns, queries: list[Query]) -> bool:
+    return (
+        columns.qtypes == [q.qtype for q in queries]
+        and columns.keys == [q.key for q in queries]
+        and columns.values == [q.value for q in queries]
+    )
+
+
+# ------------------------------------------------------------------- decode
+
+
+class TestDecodeIdentity:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(query_batches())
+    def test_single_payload_matches_legacy(self, batch):
+        payload = encode_queries(batch)
+        assert columns_equal_queries(decode_payload(payload), decode_queries(payload))
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(query_batches(max_size=12), max_size=8))
+    def test_window_matches_per_datagram_decode(self, batches):
+        payloads = [encode_queries(batch) for batch in batches]
+        segments, errors = decode_window(payloads)
+        assert errors == []
+        assert len(segments) == len(payloads)
+        for segment, payload in zip(segments, payloads):
+            assert columns_equal_queries(segment, decode_queries(payload))
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(query_batches(), st.data())
+    def test_mutated_payload_same_error_or_same_result(self, batch, data):
+        """Corrupt or truncate a valid payload: identical outcome both ways."""
+        payload = bytearray(encode_queries(batch))
+        if payload:
+            action = data.draw(st.sampled_from(["truncate", "corrupt", "extend"]))
+            if action == "truncate":
+                cut = data.draw(st.integers(0, len(payload) - 1))
+                payload = payload[:cut]
+            elif action == "corrupt":
+                pos = data.draw(st.integers(0, len(payload) - 1))
+                payload[pos] = data.draw(st.integers(0, 255))
+            else:
+                payload.extend(data.draw(st.binary(min_size=1, max_size=16)))
+        payload = bytes(payload)
+        try:
+            expected = decode_queries(payload)
+        except ProtocolError as exc:
+            with pytest.raises(ProtocolError) as caught:
+                decode_payload(payload)
+            assert str(caught.value) == str(exc)
+        else:
+            assert columns_equal_queries(decode_payload(payload), expected)
+
+    def test_error_isolated_to_its_datagram(self):
+        good = encode_queries([Query(QueryType.SET, b"k", b"v")])
+        bad = b"\x07" + good[1:]  # unknown opcode
+        segments, errors = decode_window([good, bad, good])
+        assert [e.datagram for e in errors] == [1]
+        assert errors[0].message == "unknown opcode 7 at offset 7"
+        assert len(segments[0]) == len(segments[2]) == 1
+        assert len(segments[1]) == 0
+
+    def test_errored_datagram_drops_all_its_queries(self):
+        """A datagram failing mid-way contributes nothing, like the legacy
+        all-or-nothing decode."""
+        two = encode_queries(
+            [Query(QueryType.GET, b"first"), Query(QueryType.GET, b"second")]
+        )
+        truncated = two[:-3]
+        segments, errors = decode_window([truncated])
+        assert len(segments[0]) == 0
+        assert len(errors) == 1
+
+    @pytest.mark.parametrize(
+        "payload, message",
+        [
+            (b"\x01\x01\x00", "truncated query header at offset 0"),
+            (b"\x09\x01\x00\x00\x00\x00\x00k", "unknown opcode 9 at offset 7"),
+            (b"\x01\x05\x00\x00\x00\x00\x00k", "truncated query body at offset 7"),
+            (b"\x01\x00\x00\x00\x00\x00\x00", "query key must be non-empty"),
+            (
+                b"\x01\x01\x00\x01\x00\x00\x00kv",
+                "GET query cannot carry a value",
+            ),
+            (
+                b"\x03\x01\x00\x01\x00\x00\x00kv",
+                "DELETE query cannot carry a value",
+            ),
+        ],
+    )
+    def test_exact_error_messages(self, wire_mode, payload, message):
+        with pytest.raises(ProtocolError, match=f"^{message}$"):
+            decode_payload(payload)
+        with pytest.raises(ProtocolError, match=f"^{message}$"):
+            decode_queries(payload)
+
+    def test_scalar_window_matches_vector(self, monkeypatch):
+        batches = [
+            [Query(QueryType.SET, b"a", b"1"), Query(QueryType.GET, b"b")],
+            [],
+            [Query(QueryType.DELETE, b"c")],
+        ]
+        payloads = [encode_queries(batch) for batch in batches] + [b"\xffjunk"]
+        vector = decode_window(payloads)
+        monkeypatch.setattr(wire, "np", None)
+        scalar = decode_window(payloads)
+        assert [
+            (s.qtypes, s.keys, s.values) for s in vector[0]
+        ] == [(s.qtypes, s.keys, s.values) for s in scalar[0]]
+        assert [(e.datagram, e.message) for e in vector[1]] == [
+            (e.datagram, e.message) for e in scalar[1]
+        ]
+
+
+# ------------------------------------------------------------------- encode
+
+
+def make_responses(raw) -> tuple[list[Response], list[int], list[bytes | None]]:
+    responses = [Response(status, value) for status, value in raw]
+    statuses = [r.status.value for r in responses]
+    values_col = [r.value if r.value else None for r in responses]
+    return responses, statuses, values_col
+
+
+class TestEncodeIdentity:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy)
+    def test_window_encode_matches_legacy(self, raw):
+        responses, statuses, values_col = make_responses(raw)
+        buffer, offsets = encode_response_window(statuses, values_col)
+        assert bytes(buffer) == encode_responses(responses)
+        assert list(offsets)[0] == 0
+        assert int(list(offsets)[-1]) == len(buffer)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy)
+    def test_frames_match_legacy_pack(self, raw):
+        responses, statuses, values_col = make_responses(raw)
+        expected = frames_for_responses(responses)
+        got = frames_for_response_columns(statuses, values_col)
+        assert [(f.payload, f.query_count) for f in got] == [
+            (f.payload, f.query_count) for f in expected
+        ]
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy)
+    def test_precomputed_sizes_change_nothing(self, raw):
+        responses, statuses, values_col = make_responses(raw)
+        sizes = [r.wire_size for r in responses]
+        with_sizes = encode_response_window(statuses, values_col, sizes)
+        without = encode_response_window(statuses, values_col)
+        assert bytes(with_sizes[0]) == bytes(without[0])
+        assert list(with_sizes[1]) == list(without[1])
+
+    def test_scalar_encode_matches_vector(self, monkeypatch):
+        raw = [
+            (ResponseStatus.OK, b"x" * 40),
+            (ResponseStatus.NOT_FOUND, b""),
+            (ResponseStatus.STORED, b""),
+            (ResponseStatus.OK, b"y" * 3000),
+        ]
+        responses, statuses, values_col = make_responses(raw)
+        vector = encode_response_window(statuses, values_col)
+        monkeypatch.setattr(wire, "np", None)
+        scalar = encode_response_window(statuses, values_col)
+        assert bytes(vector[0]) == bytes(scalar[0]) == encode_responses(responses)
+        assert list(vector[1]) == list(scalar[1])
+
+
+# ----------------------------------------------------------------- chunking
+
+
+class TestChunkingIdentity:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy)
+    def test_peer_payloads_match_server_chunking(self, raw):
+        responses, statuses, values_col = make_responses(raw)
+        buffer, offsets = encode_response_window(statuses, values_col)
+        got = chunk_response_payloads(
+            buffer, offsets, [(0, len(responses))], MAX_RESPONSE_PAYLOAD
+        )
+        expected = [
+            encode_responses(chunk) for chunk in _chunk_responses(responses)
+        ]
+        assert got == expected
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy, st.integers(1, 5))
+    def test_split_ranges_equal_concatenated_span(self, raw, pieces):
+        """One peer's responses split across several arrival segments chunk
+        exactly like the concatenated list (the server's per-peer view)."""
+        responses, statuses, values_col = make_responses(raw)
+        n = len(responses)
+        buffer, offsets = encode_response_window(statuses, values_col)
+        bounds = sorted({0, n, *[(i * n) // pieces for i in range(1, pieces)]})
+        ranges = list(zip(bounds, bounds[1:]))
+        got = chunk_response_payloads(buffer, offsets, ranges, MAX_RESPONSE_PAYLOAD)
+        expected = [
+            encode_responses(chunk) for chunk in _chunk_responses(responses)
+        ]
+        assert got == expected
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(responses_strategy, st.sampled_from([64, 600, ETHERNET_MTU]))
+    def test_cut_frame_bounds_match_pack_boundaries(self, raw, mtu):
+        responses, statuses, values_col = make_responses(raw)
+        _, offsets = encode_response_window(statuses, values_col)
+        bounds = cut_frame_bounds(offsets, mtu)
+        from repro.net.packets import _pack
+
+        expected = _pack(responses, encode_responses, mtu)
+        spans = [b - a for a, b in zip(bounds, bounds[1:])]
+        assert spans == [f.query_count for f in expected]
+
+    def test_oversized_response_rides_alone(self, wire_mode):
+        raw = [
+            (ResponseStatus.OK, b"a" * 100),
+            (ResponseStatus.OK, b"b" * (2 * MAX_RESPONSE_PAYLOAD)),
+            (ResponseStatus.OK, b"c" * 100),
+        ]
+        responses, statuses, values_col = make_responses(raw)
+        buffer, offsets = encode_response_window(statuses, values_col)
+        got = chunk_response_payloads(
+            buffer, offsets, [(0, 3)], MAX_RESPONSE_PAYLOAD
+        )
+        expected = [encode_responses(c) for c in _chunk_responses(responses)]
+        assert got == expected
+        assert len(got) == 3
+
+
+# ------------------------------------------------------------ QueryColumns
+
+
+class TestQueryColumns:
+    def test_round_trip_through_queries(self):
+        queries = [
+            Query(QueryType.SET, b"k1", b"v1"),
+            Query(QueryType.GET, b"k2"),
+            Query(QueryType.DELETE, b"k3"),
+        ]
+        columns = QueryColumns.from_queries(queries)
+        assert columns.to_queries() == queries
+        assert len(columns) == 3
+
+    def test_slicing_keeps_numpy_columns(self):
+        payload = encode_queries(
+            [Query(QueryType.SET, b"k%d" % i, b"v") for i in range(6)]
+        )
+        columns = decode_payload(payload)
+        part = columns[2:5]
+        assert len(part) == 3
+        assert part.keys == [b"k2", b"k3", b"k4"]
+        if columns.opcodes is not None:
+            assert list(part.opcodes) == [2, 2, 2]
+            assert list(part.key_lens) == [2, 2, 2]
+
+    def test_concat_restores_window(self, wire_mode):
+        batches = [
+            [Query(QueryType.SET, b"a", b"1")],
+            [Query(QueryType.GET, b"b"), Query(QueryType.DELETE, b"c")],
+        ]
+        segments, errors = decode_window([encode_queries(b) for b in batches])
+        assert not errors
+        merged = QueryColumns.concat(segments)
+        assert merged.to_queries() == [q for batch in batches for q in batch]
+
+    def test_slice_indexing_only(self):
+        columns = QueryColumns.from_queries([Query(QueryType.GET, b"k")])
+        with pytest.raises(TypeError):
+            columns[0]
