@@ -1,0 +1,209 @@
+"""Skew sweep: throughput of the skew-aware hot path across backends.
+
+Drives a read-only K16 query stream (the YCSB-C mix — GETs are what the
+hot path optimises; write-mixed correctness is covered by the engine and
+hypothesis test suites) at Zipf skews {0.0, 0.5, 0.9, 0.99, 1.2} through
+every functional backend, plain versus with the hot path (batch key dedup
++ versioned hot-key read cache) enabled, on a prefilled store.  Asserts
+byte-identical response frames between every variant and the per-query
+reference engine at each skew point, reports queries/sec and the hot-path
+speedup, and writes ``BENCH_skew.json``.
+
+Methodology: every run processes ``--warmup`` batches to let the cache
+admit its working set (probation admission needs to see a key twice
+before it graduates), then times the next ``--batches`` batches through
+``process_batch``.  Response frames are rendered *after* the clock stops
+— the wire plane costs the same bytes either way — but every batch,
+warmup included, is frame-checked against the reference engine.  The
+cache is provisioned at four batches of capacity so the vector builder's
+singleton probes engage (see ``SINGLETON_PROBE_MIN_CAPACITY``).
+
+The interesting columns: at high skew the hot path collapses the dominant
+keys' GET runs to one probe and serves resident keys from the cache
+snapshot, so ``vector-hot`` should clear 1.5x over plain ``vector`` at
+skew 0.99; at skew 0.0 there is nothing to collapse and the uniformity
+gate must keep the hot path within 5 % of plain.
+
+Standalone (not a pytest benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_skew_sweep.py \
+        [--batch-size 4096] [--batches 8] [--warmup 16] [--repeat 3] \
+        [--shards 4] [--skews 0.0,0.5,0.9,0.99,1.2] [--out BENCH_skew.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+from repro.engine import (
+    SerialEngine,
+    ShardedEngine,
+    StealingEngine,
+    VectorEngine,
+)
+from repro.kv.sharding import ShardedKVStore
+from repro.kv.store import KVStore
+from repro.pipeline.functional import FunctionalPipeline
+from repro.pipeline.megakv import megakv_coupled_config
+from repro.workloads.datasets import dataset_by_name
+from repro.workloads.ycsb import QueryStream, WorkloadSpec
+
+#: Key space sampled by the stream (prefilled before timing).
+NUM_KEYS = 20_000
+
+#: GET share of the stream (YCSB-C: read-only).
+GET_RATIO = 1.0
+
+#: Hot-key cache capacity as a multiple of the batch size — wide enough
+#: that the vector builder's singleton probes engage.
+CACHE_BATCHES = 4
+
+
+def spec_for_skew(skew: float) -> WorkloadSpec:
+    return WorkloadSpec(
+        dataset=dataset_by_name("K16"), get_ratio=GET_RATIO, zipf_skew=skew
+    )
+
+
+def make_batches(skew: float, batch_size: int, batches: int, seed: int):
+    stream = QueryStream(spec_for_skew(skew), num_keys=NUM_KEYS, seed=seed)
+    return stream, [stream.next_batch(batch_size) for _ in range(batches)]
+
+
+def fresh_store(stream: QueryStream, shards: int, hot: bool, batch_size: int):
+    if shards > 1:
+        store = ShardedKVStore(64 << 20, 2 * NUM_KEYS, shards)
+    else:
+        store = KVStore(64 << 20, 2 * NUM_KEYS)
+    store.populate(stream.populate_items(NUM_KEYS))
+    if hot:
+        store.attach_hot_cache(CACHE_BATCHES * batch_size)
+    return store
+
+
+def contenders(shards: int):
+    """(label, engine factory, shard count, hot) — plain and hot variants."""
+    return [
+        ("serial", lambda: SerialEngine(), 1, False),
+        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True),
+        ("stealing", lambda: StealingEngine(), 1, False),
+        ("stealing-hot", lambda: StealingEngine(dedup=True), 1, True),
+        ("vector", lambda: VectorEngine(), 1, False),
+        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True),
+        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, False),
+        (
+            "sharded-hot",
+            lambda: ShardedEngine(VectorEngine(dedup=True), dedup=True),
+            shards,
+            True,
+        ),
+    ]
+
+
+def run_engine(engine, config, stream, batches, shards, hot, batch_size, warmup):
+    """All batches on a fresh prefilled store; (timed seconds, frame bytes).
+
+    The clock covers only the post-warmup batches; the returned output
+    list covers every batch so identity checks span warmup too.
+    """
+    store = fresh_store(stream, shards, hot, batch_size)
+    pipeline = FunctionalPipeline(store, engine=engine)
+    results = []
+    gc.collect()
+    t0 = None
+    for i, batch in enumerate(batches):
+        if i == warmup:
+            t0 = time.perf_counter()
+        results.append(pipeline.process_batch(config, batch))
+    elapsed = time.perf_counter() - (t0 if t0 is not None else time.perf_counter())
+    outputs = [
+        b"".join(frame.payload for frame in result.frames) for result in results
+    ]
+    if isinstance(engine, ShardedEngine):
+        engine.close()
+    return elapsed, outputs
+
+
+def bench_skew(skew, config, batch_size, num_batches, warmup, repeat, shards, seed):
+    stream, batches = make_batches(skew, batch_size, num_batches + warmup, seed)
+    timed_queries = batch_size * num_batches
+    _, reference = run_engine(
+        "reference", config, stream, batches, 1, False, batch_size, warmup
+    )
+    best: dict[str, float] = {}
+    for label, factory, engine_shards, hot in contenders(shards):
+        best[label] = float("inf")
+        for _ in range(repeat):
+            elapsed, outputs = run_engine(
+                factory(), config, stream, batches, engine_shards, hot,
+                batch_size, warmup,
+            )
+            if outputs != reference:
+                raise AssertionError(
+                    f"skew {skew}: {label} responses differ from the reference"
+                )
+            best[label] = min(best[label], elapsed)
+    row = {"skew": skew, "queries": timed_queries, "byte_identical": True}
+    for label, seconds in best.items():
+        row[f"{label}_qps"] = round(timed_queries / seconds)
+    for backend in ("serial", "stealing", "vector", "sharded"):
+        row[f"{backend}_hot_speedup"] = round(
+            best[backend] / best[f"{backend}-hot"], 3
+        )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--batches", type=int, default=8)
+    parser.add_argument("--warmup", type=int, default=16)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--skews", default="0.0,0.5,0.9,0.99,1.2")
+    parser.add_argument("--out", default="BENCH_skew.json")
+    args = parser.parse_args(argv)
+
+    config = megakv_coupled_config()
+    skews = [float(s) for s in args.skews.split(",") if s.strip()]
+    results = []
+    for skew in skews:
+        row = bench_skew(
+            skew, config, args.batch_size, args.batches, args.warmup,
+            args.repeat, args.shards, args.seed,
+        )
+        results.append(row)
+        print(
+            f"skew {skew:<4} vector={row['vector_qps']:>9,} q/s  "
+            f"vector-hot={row['vector-hot_qps']:>9,} q/s "
+            f"({row['vector_hot_speedup']:.2f}x)  "
+            f"sharded-hot={row['sharded-hot_qps']:>9,} q/s "
+            f"({row['sharded_hot_speedup']:.2f}x)",
+            flush=True,
+        )
+
+    payload = {
+        "workload": f"K16-G{round(GET_RATIO * 100)} sweep",
+        "batch_size": args.batch_size,
+        "batches": args.batches,
+        "warmup": args.warmup,
+        "num_keys": NUM_KEYS,
+        "cache_capacity": CACHE_BATCHES * args.batch_size,
+        "shards": args.shards,
+        "pipeline": config.label,
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -227,6 +227,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         expected_objects=args.expected_objects,
         engine=args.engine,
         shards=args.shards,
+        dedup=args.dedup,
+        hot_cache=args.hot_cache,
     )
     server = DidoUDPServer(
         (args.host, args.port),
@@ -303,6 +305,8 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         expected_objects=40_000,
         engine=args.engine,
         shards=args.shards,
+        dedup=args.dedup,
+        hot_cache=args.hot_cache,
     )
     for label in _TELEMETRY_PHASES:
         stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
@@ -384,6 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-limit", type=int, default=64,
         help="datagrams drained from the kernel per receive poll (default: 64)",
     )
+    p.add_argument(
+        "--dedup", action="store_true",
+        help="collapse duplicate GET runs per batch (skew-aware hot path)",
+    )
+    p.add_argument(
+        "--hot-cache", action="store_true",
+        help="attach the skew-gated versioned hot-key read cache",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     p.set_defaults(func=cmd_serve)
 
@@ -439,6 +451,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shards", type=int, default=1,
         help="hash-partition the store across N shards (default: 1)",
+    )
+    p.add_argument(
+        "--dedup", action="store_true",
+        help="collapse duplicate GET runs per batch (skew-aware hot path)",
+    )
+    p.add_argument(
+        "--hot-cache", action="store_true",
+        help="attach the skew-gated versioned hot-key read cache",
     )
     p.set_defaults(func=cmd_telemetry)
 

@@ -18,7 +18,7 @@ Two usage styles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.controller import AdaptationController
 from repro.core.profiler import WorkloadProfile, WorkloadProfiler
@@ -77,6 +77,17 @@ class DidoSystem:
         :class:`~repro.kv.sharding.ShardedKVStore`).  With ``shards > 1``
         an unset/auto ``engine`` resolves to "sharded" — the only backend
         that executes across partitions.
+    dedup:
+        Collapse each batch's duplicate GET runs to one index probe per
+        key between write barriers (the skew-aware hot path; see
+        :mod:`repro.engine.hotpath`).
+    hot_cache:
+        Attach a versioned hot-key read cache to the store (per shard on a
+        sharded store).  The cache starts inactive; each profiler window
+        the estimated Zipf skew gates it on (>= 0.5) or off (< 0.2), and
+        its measured hit rate feeds the cost model's hot-fraction input.
+    hot_cache_keys:
+        Cache capacity in keys (total across shards); default 1024.
     """
 
     def __init__(
@@ -89,6 +100,9 @@ class DidoSystem:
         work_stealing: bool = True,
         engine=None,
         shards: int = 1,
+        dedup: bool = False,
+        hot_cache: bool = False,
+        hot_cache_keys: int | None = None,
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
@@ -103,6 +117,19 @@ class DidoSystem:
                 )
         else:
             self.store = KVStore(budget, expected_objects)
+        self._hot_caches = []
+        if hot_cache:
+            if isinstance(self.store, ShardedKVStore):
+                self._hot_caches = self.store.attach_hot_cache(hot_cache_keys)
+            else:
+                self._hot_caches = [self.store.attach_hot_cache(hot_cache_keys)]
+            # Caches start cold and inactive; the per-window skew gate in
+            # process() switches them on once the estimator sees real skew.
+            for cache in self._hot_caches:
+                cache.active = False
+        self._cache_hits_seen = 0
+        self._cache_total_seen = 0
+        self._last_measured: float | None = None
         self.nic = SimulatedNIC()
         self.profiler = WorkloadProfiler()
         self.controller = AdaptationController(
@@ -110,7 +137,11 @@ class DidoSystem:
         )
         self.executor = PipelineExecutor(platform)
         self.pipeline = FunctionalPipeline(
-            self.store, epoch_source=lambda: self.profiler.epoch, engine=engine
+            self.store,
+            epoch_source=lambda: self.profiler.epoch,
+            engine=engine,
+            dedup=dedup,
+            hot_cache=hot_cache,
         )
         self.latency_budget_ns = latency_budget_ns
         self._batches = 0
@@ -137,6 +168,8 @@ class DidoSystem:
         self.profiler.observe_insert_buckets(self.store.index.stats.average_insert_buckets())
         profile = self.profiler.snapshot()
         self._harvest_frequencies()
+        if self._hot_caches:
+            profile = self._feed_hot_caches(profile)
         config = self.controller.config_for(profile)
         result = self.pipeline.process_batch(config, queries)
         self._batches += 1
@@ -157,6 +190,36 @@ class DidoSystem:
     def submit(self, queries: list[Query]) -> BatchResult:
         """Client-style entry: pack queries into frames and go through the NIC."""
         return self.process_frames(frames_for_queries(queries))
+
+    def _feed_hot_caches(self, profile: WorkloadProfile) -> WorkloadProfile:
+        """Close the caches' window: gate on skew, feed the profiler, and
+        attach the measured hit rate to the profile for the cost model.
+
+        The skew estimate gates every cache together (hysteresis inside
+        :meth:`~repro.kv.hotcache.HotKeyCache.gate_on_skew`); cache-served
+        hit counts flow into the *next* window's frequency sample, exactly
+        like :meth:`_harvest_frequencies` does for heap-served reads.  The
+        measured hot fraction is the hit rate over this window's cache
+        lookups (carried forward through idle windows so brief all-write
+        batches don't zero the cost model's input).
+        """
+        hits = 0
+        total = 0
+        for cache in self._hot_caches:
+            cache.gate_on_skew(profile.zipf_skew)
+            for count in cache.drain_window_hits():
+                self.profiler.observe_frequency(count)
+            hits += cache.hits
+            total += cache.hits + cache.misses
+        window_hits = hits - self._cache_hits_seen
+        window_total = total - self._cache_total_seen
+        self._cache_hits_seen = hits
+        self._cache_total_seen = total
+        if window_total > 0:
+            self._last_measured = window_hits / window_total
+        if self._last_measured is None:
+            return profile
+        return replace(profile, measured_hot_fraction=self._last_measured)
 
     def _harvest_frequencies(self, sample: int = 512) -> None:
         """Feed recently touched objects' in-window counts to the profiler.

@@ -42,28 +42,34 @@ from repro.errors import ConfigurationError
 ENGINE_NAMES = ("auto", "serial", "stealing", "reference", "vector", "sharded")
 
 
-def resolve_engine(engine):
+def resolve_engine(engine, *, dedup: bool = False, hot_cache: bool = True):
     """Map an engine selector to a backend instance.
 
     ``None``/"auto" returns None (the pipeline picks per batch: stealing
     when the config wants it, serial otherwise); a backend instance passes
-    through; a known name constructs the backend.
+    through unchanged (its own flags win); a known name constructs the
+    backend with the skew-aware hot-path flags — except "reference", the
+    per-query ground truth, which never dedups or cache-serves.
     """
     if engine is None or engine == "auto":
         return None
     if isinstance(engine, str):
+        if engine == "reference":
+            return ReferenceEngine()
+        if engine == "sharded":
+            return ShardedEngine(
+                VectorEngine(dedup=dedup, hot_cache=hot_cache), dedup=dedup
+            )
         factory = {
             "serial": SerialEngine,
             "stealing": StealingEngine,
-            "reference": ReferenceEngine,
             "vector": VectorEngine,
-            "sharded": ShardedEngine,
         }.get(engine)
         if factory is None:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
             )
-        return factory()
+        return factory(dedup=dedup, hot_cache=hot_cache)
     if hasattr(engine, "run"):
         return engine
     raise ConfigurationError(f"engine must be a name or a backend, got {engine!r}")

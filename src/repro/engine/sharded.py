@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.engine.hotpath import HotPathState, dedup_batch_keys
 from repro.engine.plane import BatchPlane
 from repro.engine.vector import VectorEngine, fnv_hash_columns
 from repro.kv.sharding import ShardedKVStore, shard_of
@@ -52,14 +53,26 @@ class ShardedEngine:
     ----------
     inner:
         Engine executed per shard sub-batch (default: a
-        :class:`~repro.engine.vector.VectorEngine`).  Engines are
-        stateless across runs, so one instance serves all workers.
+        :class:`~repro.engine.vector.VectorEngine`, inheriting ``dedup``).
+        Engines are stateless across runs, so one instance serves all
+        workers.
+    dedup:
+        Collapse duplicate GET runs *before* the shard split (see
+        :mod:`repro.engine.hotpath`): a hot key's duplicates never reach
+        its shard's sub-batch, so skew stops concentrating rows on one
+        shard.  Representative results are scattered back to duplicate
+        rows after the merge.  Per-shard hot-key caches (attached via
+        :meth:`~repro.kv.sharding.ShardedKVStore.attach_hot_cache`) are
+        served *inside* each shard by the inner engine; this engine feeds
+        their admissions, since after pre-split dedup the inner engine
+        only ever sees multiplicity-1 runs.
     """
 
     name = "sharded"
 
-    def __init__(self, inner=None):
-        self._inner = inner if inner is not None else VectorEngine()
+    def __init__(self, inner=None, *, dedup: bool = False):
+        self._inner = inner if inner is not None else VectorEngine(dedup=dedup)
+        self.dedup = dedup
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self, num_shards: int) -> ThreadPoolExecutor | None:
@@ -108,9 +121,18 @@ class ShardedEngine:
             )
         num_shards = store.num_shards
         assignment = self._assign_shards(plane.keys, num_shards)
+        hotpath = dedup_batch_keys(plane) if self.dedup else None
         shard_rows: list[list[int]] = [[] for _ in range(num_shards)]
-        for row, shard in enumerate(assignment):
-            shard_rows[shard].append(row)
+        if hotpath is not None and hotpath.dup_count:
+            # Duplicate rows stay out of every sub-batch; their run's
+            # representative (same key, hence same shard) answers for them.
+            excluded = hotpath.excluded
+            for row, shard in enumerate(assignment):
+                if row not in excluded:
+                    shard_rows[shard].append(row)
+        else:
+            for row, shard in enumerate(assignment):
+                shard_rows[shard].append(row)
 
         inner = self._inner
         sub_planes: list[tuple[list[int], BatchPlane]] = []
@@ -165,6 +187,43 @@ class ShardedEngine:
                 sub_statuses = sub.response_statuses
                 for local, row in enumerate(rows):
                     statuses[row] = sub_statuses[local]
+        if hotpath is not None:
+            # Scatter each representative's result to its duplicate rows
+            # and admit qualifying values into the owning shard's cache.
+            for rep, dup_rows in hotpath.dups.items():
+                response = responses[rep]
+                value = read_values[rep]
+                for d in dup_rows:
+                    responses[d] = response
+                    read_values[d] = value
+                if sizes is not None:
+                    size = sizes[rep]
+                    for d in dup_rows:
+                        sizes[d] = size
+                if statuses is not None:
+                    status = statuses[rep]
+                    for d in dup_rows:
+                        statuses[d] = status
+            for rep, key in hotpath.admissions:
+                cache = store.shards[assignment[rep]].hot_cache
+                if cache is not None and cache.active:
+                    value = read_values[rep]
+                    if value is not None:
+                        cache.admit(key, value)
+            hotpath.finished = True
+        # Aggregate the sub-planes' cache traffic onto one state so batch
+        # telemetry (dedup ratio, hit/miss counters) reads uniformly from
+        # the outer plane.
+        for _rows, sub in sub_planes:
+            sub_hotpath = sub.hotpath
+            if sub_hotpath is None:
+                continue
+            if hotpath is None:
+                hotpath = HotPathState()
+                hotpath.finished = True
+            hotpath.cache_hits += sub_hotpath.cache_hits
+            hotpath.cache_misses += sub_hotpath.cache_misses
+        plane.hotpath = hotpath
         plane.response_sizes = sizes
         plane.response_statuses = statuses
 

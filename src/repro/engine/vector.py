@@ -45,6 +45,7 @@ from repro.engine.backends import (
     STORED_RESPONSE,
     SerialEngine,
 )
+from repro.engine.hotpath import prepare_hot_path_vector
 from repro.engine.plane import BatchPlane
 from repro.kv.hashtable import EMPTY
 from repro.kv.objects import _FNV_OFFSET, _FNV_PRIME, fnv1a64
@@ -155,6 +156,13 @@ class VectorEngine(SerialEngine):
         if np is not None and hasattr(index, "ensure_mirror"):
             index.ensure_mirror()
             plane.scratch = _VectorScratch()
+            if plane.hotpath is None and (self.dedup or self.use_hot_cache):
+                plane.hotpath = prepare_hot_path_vector(
+                    store,
+                    plane,
+                    dedup=self.dedup,
+                    use_cache=self.use_hot_cache,
+                )
         return super().run(store, plan, plane, epoch=epoch, task_times=task_times)
 
     # --------------------------------------------------------------- search
@@ -260,6 +268,20 @@ class VectorEngine(SerialEngine):
         read_values = plane.read_values
         value_rows = scratch.value_rows
         value_lens = scratch.value_lens
+        hotpath = plane.hotpath
+        if hotpath is not None and hotpath.dups:
+            dup_lookup = hotpath.dups.get
+            for row, loc in zip(scratch.rd_rows, scratch.rd_locs):
+                obj = heap_get(loc)
+                if obj is None:
+                    continue
+                # One read answers the whole run; credit its multiplicity.
+                obj.record_access(epoch, 1 + len(dup_lookup(row, ())))
+                value = obj.value
+                read_values[row] = value
+                value_rows.append(row)
+                value_lens.append(len(value))
+            return
         for row, loc in zip(scratch.rd_rows, scratch.rd_locs):
             obj = heap_get(loc)
             if obj is None:
@@ -277,25 +299,60 @@ class VectorEngine(SerialEngine):
         if scratch is None:
             SerialEngine._pass_wr(plane, indices)
             return
+        hotpath = plane.hotpath
+        if hotpath is not None:
+            hotpath.finish(plane)
         responses = plane.responses
         read_values = plane.read_values
         ok = ResponseStatus.OK
+        for i in plane.set_indices:
+            responses[i] = STORED_RESPONSE
+        if hotpath is not None and hotpath.prefilled:
+            # Hot-path rows (cache-served runs and scattered duplicates)
+            # already carry their shared Response; extend the value
+            # row/length lists so the status and size columns cover them.
+            value_rows = scratch.value_rows
+            value_lens = scratch.value_lens
+            for rows, value, _resp in hotpath.cache_groups:
+                value_rows.extend(rows)
+                value_lens.extend([len(value)] * len(rows))
+            for rep, dup_rows in hotpath.dups.items():
+                value = read_values[rep]
+                if value is not None:
+                    value_rows.extend(dup_rows)
+                    value_lens.extend([len(value)] * len(dup_rows))
+            # Every excluded row was prefilled by finish(); only the live
+            # subset can still need a Response object.
+            get_rows = (
+                hotpath.get_live
+                if hotpath.get_live is not None
+                else plane.get_indices
+            )
+            for i in get_rows:
+                if responses[i] is None:
+                    value = read_values[i]
+                    if value is None:
+                        responses[i] = NOT_FOUND_RESPONSE
+                    else:
+                        responses[i] = Response(ok, value)
+        else:
+            for i in plane.get_indices:
+                value = read_values[i]
+                if value is None:
+                    responses[i] = NOT_FOUND_RESPONSE
+                else:
+                    responses[i] = Response(ok, value)
         # The raw status-code column mirrors the Response column so the
         # wire framer never needs the objects: NOT_FOUND everywhere, then
         # bulk-corrected per subset (SETs stored, GET hits OK, DELETEs
-        # copied from the answers the Delete pass already wrote).
-        statuses = [_NOT_FOUND_CODE] * plane.size
-        for i in plane.set_indices:
-            responses[i] = STORED_RESPONSE
-            statuses[i] = _STORED_CODE
-        for i in plane.get_indices:
-            value = read_values[i]
-            if value is None:
-                responses[i] = NOT_FOUND_RESPONSE
-            else:
-                responses[i] = Response(ok, value)
-        for row in scratch.value_rows:
-            statuses[row] = _OK_CODE
+        # copied from the answers the Delete pass already wrote) — fancy
+        # indexing instead of per-row list stores.
+        status_col = np.full(plane.size, _NOT_FOUND_CODE, dtype=np.int64)
+        if plane.set_indices:
+            status_col[plane.set_indices] = _STORED_CODE
+        if scratch.value_rows:
+            status_col[scratch.value_rows] = _OK_CODE
+        statuses = status_col.tolist()
         for i in plane.delete_indices:
             response = responses[i]
             if response is not None:

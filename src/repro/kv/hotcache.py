@@ -1,0 +1,244 @@
+"""Versioned hot-key read cache: GETs of cache-resident keys skip the index.
+
+DIDO's skew analysis (paper Sections II-C, IV-B) models the hot set of a
+Zipf workload as cache-resident via the cost model's ``hot_fraction``; this
+module makes the same observation operational.  A :class:`HotKeyCache`
+snapshots the values of the hottest keys so a GET can be answered without a
+cuckoo probe, a key compare, or a heap read — the software analogue of the
+hot set living in the last-level cache.
+
+Correctness rests on two mechanisms:
+
+* **Versioning** — every key carries a monotonically increasing version
+  stamp, bumped by :meth:`on_write` / :meth:`invalidate` at the store's
+  single key-binding write points (:meth:`repro.kv.store.KVStore.allocate`,
+  :meth:`~repro.kv.store.KVStore.delete`, and slab eviction, the same
+  hooks that keep the NumPy signature mirror in sync).  A snapshot is
+  served only while its stamp matches the key's current version, so a
+  stale value can never escape even if an eviction path forgets to drop
+  the entry.
+* **Batch-write exclusion** — the engines' hot-path builder
+  (:func:`repro.engine.hotpath.prepare_hot_path`) never serves a key from
+  the cache in a batch that also writes that key: under the staged batch
+  semantics a GET must observe the post-batch-write value, which the cache
+  cannot know at intake time.
+
+Admission is frequency-gated: a key is admitted once it has been observed
+:data:`MIN_ADMIT_MULTIPLICITY` times — within one batch (the dedup layer
+found it duplicated) or cumulatively across batches via the bounded
+*probation* ledger (:meth:`note_probation`), which lets the long tail of a
+Zipf head that appears once per batch graduate into the cache — so a
+uniform workload cannot thrash the LRU with single-use tail keys.  Every
+entry carries a prebuilt :class:`~repro.kv.protocol.Response` alongside
+the value snapshot, so serving a cached GET costs zero allocations.  The
+workload profiler's skew estimate gates the whole cache on/off
+(:meth:`gate_on_skew`): skewed windows activate it, uniform windows
+deactivate it — and :meth:`drain_window_hits` feeds the served hits back
+into the profiler's frequency sampler so cache-served keys keep driving
+the skew estimate they triggered.
+
+The engines' hot-path builder reads ``_entries`` / ``_versions`` /
+``_window_hits`` directly for its fused per-batch probes (one dict get +
+version compare per key) and settles the hit/miss counters in bulk; the
+method APIs below are the semantic contract those probes replicate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+from repro.kv.protocol import Response, ResponseStatus
+
+_OK = ResponseStatus.OK
+
+#: Default number of hot keys snapshotted (the cost model's n' analogue).
+DEFAULT_CAPACITY = 1024
+
+#: Minimum in-batch multiplicity before a key is considered hot enough to
+#: admit; 2 means "the batch dedup layer collapsed at least one duplicate".
+MIN_ADMIT_MULTIPLICITY = 2
+
+#: Profiler skew estimates at or above this activate the cache...
+SKEW_ON_THRESHOLD = 0.5
+
+#: ...and estimates below this deactivate it (hysteresis band between).
+SKEW_OFF_THRESHOLD = 0.2
+
+
+class HotKeyCache:
+    """Bounded LRU of ``key -> (value, version)`` snapshots.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum snapshots held; admission beyond it evicts the least
+        recently used entry.
+    active:
+        Initial gate state.  Standalone users (benchmarks, direct engine
+        drivers) leave it True; :class:`~repro.core.dido.DidoSystem`
+        flips it per profiling window via :meth:`gate_on_skew`.
+    """
+
+    __slots__ = (
+        "capacity",
+        "active",
+        "hits",
+        "misses",
+        "invalidations",
+        "_entries",
+        "_versions",
+        "_window_hits",
+        "_probation",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, active: bool = True):
+        if capacity < 1:
+            raise ConfigurationError("hot-key cache capacity must be positive")
+        self.capacity = capacity
+        self.active = active
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: key -> (value, version-at-snapshot, prebuilt OK response); LRU
+        #: order, hottest last.
+        self._entries: OrderedDict[bytes, tuple[bytes, int, Response]] = OrderedDict()
+        #: key -> current version.  Only written keys have an entry; a key
+        #: absent here is at version 0.
+        self._versions: dict[bytes, int] = {}
+        #: key -> hits served this profiling window (drained by DidoSystem
+        #: into the profiler's frequency sampler).
+        self._window_hits: dict[bytes, int] = {}
+        #: key -> cumulative observations while not yet admission-worthy;
+        #: generationally cleared when it outgrows 4x capacity.
+        self._probation: dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ---------------------------------------------------------------- reads
+
+    def lookup(self, key: bytes, count: int = 1) -> bytes | None:
+        """The snapshot for ``key`` if present and current, else None.
+
+        ``count`` is the number of queries this lookup answers (the batch
+        dedup layer resolves a whole duplicate run with one call); hit and
+        miss counters advance by it so the hit-rate metric stays
+        per-query.
+        """
+        entry = self.lookup_entry(key, count)
+        return entry[0] if entry is not None else None
+
+    def lookup_entry(self, key: bytes, count: int = 1) -> tuple[bytes, int, Response] | None:
+        """:meth:`lookup`, returning the whole ``(value, version, response)``
+        entry so callers can serve the prebuilt response object."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += count
+            return None
+        if entry[1] != self._versions.get(key, 0):
+            # Stale snapshot: the key was rewritten since. Drop it.
+            del self._entries[key]
+            self.misses += count
+            return None
+        self._entries.move_to_end(key)
+        self.hits += count
+        window = self._window_hits
+        window[key] = window.get(key, 0) + count
+        return entry
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # --------------------------------------------------------------- writes
+
+    def admit(self, key: bytes, value: bytes) -> None:
+        """Snapshot ``key``'s current value, evicting LRU at capacity."""
+        entries = self._entries
+        if key not in entries and len(entries) >= self.capacity:
+            old_key, _ = entries.popitem(last=False)
+            # A key with no live snapshot needs no version bookkeeping.
+            self._versions.pop(old_key, None)
+        entries[key] = (value, self._versions.get(key, 0), Response(_OK, value))
+        entries.move_to_end(key)
+        self._probation.pop(key, None)
+
+    def note_probation(self, key: bytes, count: int = 1) -> bool:
+        """Record ``count`` sightings of a non-resident key; True once the
+        key's cumulative tally reaches :data:`MIN_ADMIT_MULTIPLICITY` (the
+        caller should then admit it as soon as a value is available).
+
+        The ledger is generationally bounded: when it outgrows 4x the
+        cache capacity it is simply cleared — tail keys restart their
+        probation, hot keys re-qualify within a batch or two.
+        """
+        probation = self._probation
+        seen = probation.get(key, 0) + count
+        if seen >= MIN_ADMIT_MULTIPLICITY:
+            probation.pop(key, None)
+            return True
+        if len(probation) >= 4 * self.capacity:
+            probation.clear()
+        probation[key] = seen
+        return False
+
+    def on_write(self, key: bytes, value: bytes) -> None:
+        """SET hook: bump the key's version; refresh an existing snapshot.
+
+        Write-through for already-hot keys (the next batch's GETs hit
+        immediately); cold keys are not admitted on write — admission is
+        read-frequency-driven.
+        """
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        if key in self._entries:
+            self._entries[key] = (value, version, Response(_OK, value))
+        self.invalidations += 1
+
+    def invalidate(self, key: bytes) -> None:
+        """DELETE/eviction hook: drop the snapshot and version stamp.
+
+        With no snapshot left there is nothing a stale version could
+        protect, so the stamp is released rather than kept forever (the
+        version map stays bounded by the snapshot set plus recently
+        rewritten keys).
+        """
+        self._entries.pop(key, None)
+        self._versions.pop(key, None)
+        self.invalidations += 1
+
+    # ---------------------------------------------------------------- gating
+
+    def gate_on_skew(self, estimated_skew: float) -> bool:
+        """Flip the gate from the profiler's skew estimate; returns state.
+
+        Hysteresis keeps the gate stable around the thresholds: on at
+        ``SKEW_ON_THRESHOLD``, off below ``SKEW_OFF_THRESHOLD``, unchanged
+        in between.
+        """
+        if estimated_skew >= SKEW_ON_THRESHOLD:
+            self.active = True
+        elif estimated_skew < SKEW_OFF_THRESHOLD:
+            self.active = False
+        return self.active
+
+    def drain_window_hits(self) -> list[int]:
+        """Per-key hit counts since the last drain (profiler feed).
+
+        Cache-served GETs never touch the heap objects whose access
+        counters drive the skew estimator; feeding these counts into
+        :meth:`~repro.core.profiler.WorkloadProfiler.observe_frequency`
+        keeps the estimate honest while the hot set is served cache-side.
+        """
+        counts = list(self._window_hits.values())
+        self._window_hits.clear()
+        return counts
+
+    def clear(self) -> None:
+        """Drop every snapshot and version stamp (tests, store resets)."""
+        self._entries.clear()
+        self._versions.clear()
+        self._window_hits.clear()
+        self._probation.clear()

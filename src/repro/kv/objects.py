@@ -71,16 +71,18 @@ class KVObject:
         """Payload footprint (key + value), the slab-class sizing input."""
         return len(self.key) + len(self.value)
 
-    def record_access(self, epoch: int) -> int:
-        """Count one access within sampling window ``epoch``.
+    def record_access(self, epoch: int, count: int = 1) -> int:
+        """Count ``count`` accesses within sampling window ``epoch``.
 
         Returns the updated in-window count.  Implements the paper's
         counter+timestamp scheme: a new epoch restarts the count instead of
-        requiring a global reset pass over all objects.
+        requiring a global reset pass over all objects.  ``count`` lets the
+        engines' batch dedup credit a collapsed run of a repeated key with
+        its full multiplicity in one call.
         """
         if self.sample_epoch != epoch:
             self.sample_epoch = epoch
-            self.access_count = 1
+            self.access_count = count
         else:
-            self.access_count += 1
+            self.access_count += count
         return self.access_count

@@ -142,6 +142,19 @@ class ShardedKVStore:
         self._index_view = _MergedIndexView(self.shards)
         self._heap_view = _MergedHeapView(self.shards)
 
+    def attach_hot_cache(self, capacity: int | None = None):
+        """Attach a hot-key read cache to every shard; returns the list.
+
+        The total ``capacity`` is divided evenly (floored at 64 entries per
+        shard) — a key lives on exactly one shard, so per-shard caches
+        partition the hot set the same way the stores partition the data.
+        """
+        from repro.kv.hotcache import DEFAULT_CAPACITY, HotKeyCache
+
+        total = capacity or DEFAULT_CAPACITY
+        per_shard = max(64, total // self.num_shards)
+        return [shard.attach_hot_cache(per_shard) for shard in self.shards]
+
     # -------------------------------------------------------------- routing
 
     def shard_for(self, key: bytes) -> KVStore:

@@ -91,6 +91,17 @@ class KVStore:
         self.heap = SlabAllocator(memory_bytes)
         self._key_location: dict[bytes, int] = {}
         self.stats = StoreStats()
+        #: Optional :class:`~repro.kv.hotcache.HotKeyCache`; the write
+        #: paths (allocate/delete) keep it coherent, the engines' hot path
+        #: serves GETs from it when it is attached and gated active.
+        self.hot_cache = None
+
+    def attach_hot_cache(self, capacity: int | None = None):
+        """Create and attach a hot-key read cache; returns it."""
+        from repro.kv.hotcache import DEFAULT_CAPACITY, HotKeyCache
+
+        self.hot_cache = HotKeyCache(capacity or DEFAULT_CAPACITY)
+        return self.hot_cache
 
     def __len__(self) -> int:
         return len(self._key_location)
@@ -139,6 +150,14 @@ class KVStore:
         if evicted is not None:
             evicted_location = self._key_location.pop(evicted.key, None)
         self._key_location[key] = location
+        cache = self.hot_cache
+        if cache is not None:
+            # The single key->value binding write point: bump the written
+            # key's version (refreshing a hot snapshot in place) and drop
+            # any snapshot of a slab-evicted key.
+            if evicted is not None:
+                cache.invalidate(evicted.key)
+            cache.on_write(key, value)
         return SetOutcome(
             location=location,
             evicted=evicted,
@@ -198,12 +217,33 @@ class KVStore:
         return matches
 
     def multi_read_value(
-        self, locations: list[int | None], *, epoch: int = 0
+        self,
+        locations: list[int | None],
+        *,
+        epoch: int = 0,
+        counts: list[int] | None = None,
     ) -> list[bytes | None]:
-        """Bulk RD: value bytes per location (None passes through as a miss)."""
+        """Bulk RD: value bytes per location (None passes through as a miss).
+
+        ``counts`` (aligned with ``locations``) credits each read with that
+        many profiler accesses — the engines' batch dedup reads a run of a
+        repeated key once but must not under-report its popularity.
+        """
         heap_get = self.heap.get
         values: list[bytes | None] = []
         append = values.append
+        if counts is not None:
+            for location, count in zip(locations, counts):
+                if location is None:
+                    append(None)
+                    continue
+                obj = heap_get(location)
+                if obj is None:
+                    append(None)
+                else:
+                    obj.record_access(epoch, count)
+                    append(obj.value)
+            return values
         for location in locations:
             if location is None:
                 append(None)
@@ -283,6 +323,8 @@ class KVStore:
             return False
         self.heap.free(location)
         self.index_delete(key, location)
+        if self.hot_cache is not None:
+            self.hot_cache.invalidate(key)
         self.stats.delete_hits += 1
         return True
 

@@ -137,6 +137,12 @@ class DidoUDPServer:
         codec path.
     drain_limit:
         Upper bound on datagrams taken from the kernel per poll.
+    dedup:
+        Collapse duplicate GET runs per batch in the default-created
+        system (ignored when an explicit ``system`` is passed).
+    hot_cache:
+        Attach the skew-gated hot-key read cache to the default-created
+        system (ignored when an explicit ``system`` is passed).
     """
 
     def __init__(
@@ -150,6 +156,8 @@ class DidoUDPServer:
         shards: int = 1,
         wire: str = "columnar",
         drain_limit: int = DEFAULT_DRAIN_LIMIT,
+        dedup: bool = False,
+        hot_cache: bool = False,
     ):
         if coalesce_us is not None:
             if coalesce_us < 0:
@@ -166,7 +174,12 @@ class DidoUDPServer:
         if drain_limit < 1:
             raise ConfigurationError("drain limit must be positive")
         self.system = system or DidoSystem(
-            memory_bytes=64 << 20, expected_objects=65536, engine=engine, shards=shards
+            memory_bytes=64 << 20,
+            expected_objects=65536,
+            engine=engine,
+            shards=shards,
+            dedup=dedup,
+            hot_cache=hot_cache,
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         try:

@@ -9,10 +9,36 @@ true skewness value the profiler's estimator is tested against.
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 
 import numpy as np
 
 from repro.errors import WorkloadError
+
+#: Rank cutoff between the exact head sum and the integral tail in the
+#: hybrid harmonic-mass evaluation (and the exactly-sampled head of
+#: :class:`ZipfKeys`).
+_ZIPF_HEAD = 4096
+
+
+@lru_cache(maxsize=4096)
+def zipf_harmonic_mass(k: int, skew: float) -> float:
+    """Generalised harmonic number ``H_{k, skew}`` (hybrid exact/integral).
+
+    Exact over the top ``_ZIPF_HEAD`` ranks, Euler-integral beyond — the
+    same split the sampler uses, so sampled and analytic masses agree.
+    Cached because every :class:`ZipfKeys` construction and every
+    :meth:`ZipfKeys.top_fraction` call needs these sums, and benchmark
+    sweeps construct many distributions over the same (num_keys, skew)
+    grid.
+    """
+    head = min(k, _ZIPF_HEAD)
+    exact = float(np.sum(np.arange(1, head + 1, dtype=np.float64) ** -skew))
+    if k <= head:
+        return exact
+    if abs(skew - 1.0) < 1e-9:
+        return exact + float(np.log(k / head))
+    return exact + (k ** (1 - skew) - head ** (1 - skew)) / (1 - skew)
 
 
 class KeyDistribution(abc.ABC):
@@ -66,7 +92,7 @@ class ZipfKeys(KeyDistribution):
     10 % re-plan threshold.
     """
 
-    _HEAD = 4096
+    _HEAD = _ZIPF_HEAD
 
     def __init__(self, num_keys: int, skew: float = 0.99, seed: int = 0):
         if skew <= 0:
@@ -87,15 +113,8 @@ class ZipfKeys(KeyDistribution):
         return self._skew
 
     def _total_weight(self) -> float:
-        """Generalised harmonic number H_{n, skew} (hybrid exact/integral)."""
-        n, s = self.num_keys, self._skew
-        head = min(n, self._HEAD)
-        exact = float(np.sum(np.arange(1, head + 1, dtype=np.float64) ** -s))
-        if n <= head:
-            return exact
-        if abs(s - 1.0) < 1e-9:
-            return exact + float(np.log(n / head))
-        return exact + (n ** (1 - s) - head ** (1 - s)) / (1 - s)
+        """Generalised harmonic number H_{n, skew} (cached module-level)."""
+        return zipf_harmonic_mass(self.num_keys, self._skew)
 
     def sample(self, count: int) -> np.ndarray:
         uniforms = self._rng.random(count)
@@ -128,15 +147,9 @@ class ZipfKeys(KeyDistribution):
         k = min(max(0, top_keys), self.num_keys)
         if k == 0:
             return 0.0
-        s = self._skew
-        head = min(k, self._head_count)
-        mass = float(np.sum(np.arange(1, head + 1, dtype=np.float64) ** -s))
-        if k > head:
-            if abs(s - 1.0) < 1e-9:
-                mass += float(np.log(k / head))
-            else:
-                mass += (k ** (1 - s) - head ** (1 - s)) / (1 - s)
-        return min(1.0, mass / self._total)
+        # k <= num_keys, so min(k, _HEAD) inside the shared mass function
+        # matches the old min(k, head_count) cutoff exactly.
+        return min(1.0, zipf_harmonic_mass(k, self._skew) / self._total)
 
 
 def make_distribution(num_keys: int, skew: float, seed: int = 0) -> KeyDistribution:

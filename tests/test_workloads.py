@@ -117,6 +117,33 @@ class TestZipf:
         ranks = dist.sample(1000)
         assert set(ranks.tolist()) <= {0, 1, 2, 3, 4}
 
+    def test_harmonic_mass_cached_across_constructions(self):
+        """Repeated ZipfKeys over the same (num_keys, skew) grid reuse the
+        cached harmonic sums instead of recomputing them."""
+        from repro.workloads.distributions import zipf_harmonic_mass
+
+        zipf_harmonic_mass.cache_clear()
+        ZipfKeys(123_457, skew=0.77)
+        after_first = zipf_harmonic_mass.cache_info()
+        dist = ZipfKeys(123_457, skew=0.77)
+        assert zipf_harmonic_mass.cache_info().hits > after_first.hits
+        assert zipf_harmonic_mass.cache_info().misses == after_first.misses
+        # The shared mass function matches a direct exact summation.
+        exact = float(np.sum(np.arange(1, 1001, dtype=np.float64) ** -0.77))
+        assert dist.top_fraction(1000) == pytest.approx(
+            exact / zipf_harmonic_mass(123_457, 0.77)
+        )
+
+    def test_empirical_top_key_frequency_matches_top_fraction(self):
+        """Timing-free skew check: the observed share of samples landing in
+        the top-k ranks tracks the analytic ``top_fraction`` across skews."""
+        for skew in (0.5, 0.99, 1.2):
+            dist = ZipfKeys(20_000, skew=skew, seed=11)
+            ranks = dist.sample(150_000)
+            for k in (16, 256, 4096):
+                empirical = float(np.mean(ranks < k))
+                assert empirical == pytest.approx(dist.top_fraction(k), abs=0.05)
+
 
 class TestWorkloadSpec:
     def test_label_round_trip(self):
