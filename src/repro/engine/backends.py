@@ -101,6 +101,8 @@ class SerialEngine:
         """Execute every non-boundary phase; returns steal-claim counts."""
         self.prepare(store, plane)
         hotpath = plane.hotpath
+        if hotpath is not None:
+            hotpath.epoch = epoch
         for phase in plan.phases:
             if phase.kind is PhaseKind.BOUNDARY:
                 continue
@@ -340,6 +342,8 @@ class StealingEngine(SerialEngine):
         config = plan.config
         self.prepare(store, plane)
         hotpath = plane.hotpath
+        if hotpath is not None:
+            hotpath.epoch = epoch
         for stage_index, stage in enumerate(config.stages):
             steal = (
                 config.work_stealing

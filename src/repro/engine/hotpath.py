@@ -83,6 +83,8 @@ class HotPathState:
         "get_live",
         "search_live",
         "finished",
+        "store",
+        "epoch",
     )
 
     def __init__(self) -> None:
@@ -91,9 +93,13 @@ class HotPathState:
         self.dup_count = 0
         #: The serving cache (None when only dedup is active).
         self.cache = None
-        #: Cache-served runs: (all rows of the run, snapshot value, the
-        #: snapshot's prebuilt Response).
-        self.cache_groups: list[tuple[list[int], bytes, Response]] = []
+        #: Cache-served runs, captured at batch intake as (all rows of the
+        #: run, key, the cache's (value, version, response) entry).  The
+        #: capture is *provisional*: :meth:`finish` re-validates each entry
+        #: against the cache before scattering (a SET elsewhere in the
+        #: batch can slab-evict the key mid-batch) and rewrites the list
+        #: to the final served (rows, value, response) triples.
+        self.cache_groups: list = []
         self.cache_hits = 0
         self.cache_misses = 0
         #: (representative row, key) of unwritten multi-runs to admit once
@@ -105,6 +111,11 @@ class HotPathState:
         self.get_live = None
         self.search_live = None
         self.finished = False
+        #: The store the batch runs against (set by the builders) and the
+        #: run's profiler epoch (set by the engines) — :meth:`finish`
+        #: needs both for the fallback read of an invalidated group.
+        self.store = None
+        self.epoch = 0
 
     # ------------------------------------------------------------- building
 
@@ -120,7 +131,7 @@ class HotPathState:
         if cache is not None and not written:
             entry = cache.lookup_entry(key, count)
             if entry is not None:
-                self.cache_groups.append((rows, entry[0], entry[2]))
+                self.cache_groups.append((rows, key, entry))
                 self.cache_hits += count
                 self.excluded.update(rows)
                 return
@@ -178,16 +189,57 @@ class HotPathState:
         defensively at WR intake; only the first call acts.  One Response
         object is shared across each run (responses are immutable, exactly
         like the backends' STORED/NOT_FOUND singletons).
+
+        Cache-served groups were captured before any phase ran, but a SET
+        elsewhere in the batch can slab-evict an unwritten cached key
+        mid-batch (``store.allocate`` invalidates the snapshot and the MM
+        pass queues the index Delete).  Each group is therefore
+        re-validated here: only a snapshot still resident at its captured
+        version is scattered; an invalidated group falls back to a direct
+        index read — which, post-MM/Delete, resolves exactly as the plain
+        path would (NOT_FOUND for an evicted key).
         """
         if self.finished:
             return
         self.finished = True
         responses = plane.responses
         read_values = plane.read_values
-        for rows, value, resp in self.cache_groups:
-            for r in rows:
-                read_values[r] = value
-                responses[r] = resp
+        cache = self.cache
+        if self.cache_groups:
+            served: list[tuple[list[int], bytes, Response]] = []
+            entries_get = cache._entries.get
+            versions_get = cache._versions.get
+            store = self.store
+            for rows, key, entry in self.cache_groups:
+                value, version, resp = entry
+                if entries_get(key) is not entry or versions_get(key, 0) != version:
+                    # Snapshot died between intake and finish: re-resolve
+                    # through the index (run multiplicity still credited
+                    # to the object's profiler counter, as in the plain
+                    # dedup path) and reclassify the probe as a miss.
+                    n = len(rows)
+                    cache.hits -= n
+                    cache.misses += n
+                    self.cache_hits -= n
+                    self.cache_misses += n
+                    location = store.multi_key_compare(
+                        [key], [store.multi_index_search([key])[0]]
+                    )[0]
+                    value = store.multi_read_value(
+                        [location], epoch=self.epoch, counts=[n]
+                    )[0]
+                    if value is None:
+                        for r in rows:
+                            responses[r] = _NOT_FOUND
+                        continue
+                    resp = Response(_OK, value)
+                served.append((rows, value, resp))
+                for r in rows:
+                    read_values[r] = value
+                    responses[r] = resp
+            #: Downstream consumers (the vector WR pass's status/size
+            #: columns) see only the groups that actually served.
+            self.cache_groups = served
         for rep, dup_rows in self.dups.items():
             value = read_values[rep]
             if value is None:
@@ -245,6 +297,7 @@ def prepare_hot_path(store, plane, *, dedup: bool, use_cache: bool) -> HotPathSt
         return None
     state = HotPathState()
     state.cache = cache
+    state.store = store
     keys = plane.keys
     written = _written_positions(plane)
     # group key -> ascending rows of the run; plain ``key`` for unwritten
@@ -306,6 +359,56 @@ GATE_MIN_ROWS = 1024
 SINGLETON_PROBE_MIN_CAPACITY = 2
 
 
+def _probe_singletons(state: HotPathState, cache, rows, keys, written) -> None:
+    """Probe lone GET rows against a keyspace-scale cache.
+
+    Same probe as the grouped pass minus the LRU refresh (one appearance
+    is not hotness evidence); a miss walks the probation ledger inline
+    (:meth:`~repro.kv.hotcache.HotKeyCache.note_probation`'s contract) so
+    once-per-batch tail keys graduate next sighting.
+    """
+    entries = cache._entries
+    entries_get = entries.get
+    versions = cache._versions
+    versions_get = versions.get
+    window = cache._window_hits
+    window_get = window.get
+    probation = cache._probation
+    probation_get = probation.get
+    probation_cap = 4 * cache.capacity
+    cache_groups = state.cache_groups
+    admissions = state.admissions
+    excluded = state.excluded
+    hits = misses = 0
+    for r in rows:
+        key = keys[r]
+        if written is not None and key in written:
+            continue
+        entry = entries_get(key)
+        if entry is not None:
+            if entry[1] == versions_get(key, 0):
+                cache_groups.append(([r], key, entry))
+                hits += 1
+                excluded.add(r)
+                window[key] = window_get(key, 0) + 1
+                continue
+            del entries[key]
+            versions.pop(key, None)
+        misses += 1
+        seen = probation_get(key, 0) + 1
+        if seen >= _MIN_ADMIT:
+            probation.pop(key, None)
+            admissions.append((r, key))
+        else:
+            if len(probation) >= probation_cap:
+                probation.clear()
+            probation[key] = seen
+    state.cache_hits += hits
+    state.cache_misses += misses
+    cache.hits += hits
+    cache.misses += misses
+
+
 def prepare_hot_path_vector(
     store, plane, *, dedup: bool, use_cache: bool
 ) -> HotPathState | None:
@@ -314,8 +417,12 @@ def prepare_hot_path_vector(
     A strided sample of the batch's GET keys estimates the duplicate
     fraction first; a visibly uniform batch (below
     :data:`GATE_SKIP_BELOW`) returns immediately with nothing grouped,
-    which is nearly the entire skew-0 overhead of the hot path.  Past the
-    gate, the GET rows' keys are FNV-hashed once and duplicate keys found
+    which is nearly the entire skew-0 overhead of the hot path.  The gate
+    (and the no-duplicates fast-out) is bypassed when the cache is
+    provisioned at keyspace scale: singleton rows are then worth probing
+    even with nothing to collapse — notably the sharded engine's inner
+    sub-batches, which arrive pre-deduped to multiplicity-1 runs.  Past
+    the gate, the GET rows' keys are FNV-hashed once and duplicate keys found
     by sorting the hash column — only rows in hash groups of two or more
     fall back to a Python dict pass keyed on the real key bytes (resolving
     the rare collision), so the classification loop runs per *duplicated*
@@ -339,12 +446,25 @@ def prepare_hot_path_vector(
         return None
     state = HotPathState()
     state.cache = cache
+    state.store = store
     get_rows = plane.get_indices
     n = len(get_rows)
-    if n < 2:
+    if n == 0:
         return state.seal(plane)
     keys = plane.keys
-    if n >= GATE_MIN_ROWS:
+    # When the cache dwarfs the batch, lone rows are probed too — and
+    # none of the grouping fast-outs below may skip that probe pass.
+    # This matters most under the sharded engine, whose pre-split dedup
+    # hands the inner engines multiplicity-1 sub-batches: without the
+    # singleton probe the per-shard caches would admit but never serve.
+    singles_probe = (
+        cache is not None and cache.capacity >= SINGLETON_PROBE_MIN_CAPACITY * n
+    )
+    if n < 2:
+        if singles_probe:
+            _probe_singletons(state, cache, get_rows, keys, _written_positions(plane))
+        return state.seal(plane)
+    if n >= GATE_MIN_ROWS and not singles_probe:
         sample = get_rows[:: max(1, n // GATE_SAMPLE_ROWS)]
         if 1.0 - len({keys[i] for i in sample}) / len(sample) < GATE_SKIP_BELOW:
             return state.seal(plane)
@@ -359,7 +479,7 @@ def prepare_hot_path_vector(
     starts = np.nonzero(boundaries)[0]
     lengths = np.diff(np.append(starts, ordered.size))
     multi = lengths > 1
-    if not multi.any():
+    if not multi.any() and not singles_probe:
         return state.seal(plane)
     # One gather pulls every row belonging to a repeated-hash group; the
     # stable sort keeps equal hashes in batch order and get_indices is
@@ -408,15 +528,16 @@ def prepare_hot_path_vector(
             entry = entries_get(key)
             if entry is not None:
                 if entry[1] == versions_get(key, 0):
-                    cache_groups.append((krows, entry[0], entry[2]))
+                    cache_groups.append((krows, key, entry))
                     hits += count
                     excluded_extend(krows)
                     window[key] = window_get(key, 0) + count
                     move_to_end(key)
                     continue
-                # Stale snapshot: rewritten since; drop it (lookup_entry's
-                # contract).
+                # Stale snapshot: rewritten since; drop it and its stamp
+                # (lookup_entry's contract).
                 del entries[key]
+                cache._versions.pop(key, None)
             misses += count
             # count >= 2 here, so in-batch multiplicity qualifies directly.
             admissions.append((krows[0], key))
@@ -425,38 +546,13 @@ def prepare_hot_path_vector(
             dups[krows[0]] = dup_rows
             dup_count += count - 1
             excluded_extend(dup_rows)
-    if cache is not None and cache.capacity >= SINGLETON_PROBE_MIN_CAPACITY * n:
-        # Keyspace-scale cache: lone rows usually hit too.  Same probe as
-        # above minus LRU refresh (one appearance is not hotness
-        # evidence); a miss walks the probation ledger inline
-        # (note_probation's contract) so the key graduates next sighting.
-        probation = cache._probation
-        probation_get = probation.get
-        probation_cap = 4 * cache.capacity
-        for r in rows_arr[order[~in_multi]].tolist():
-            key = keys[r]
-            if written is not None and key in written:
-                continue
-            entry = entries_get(key)
-            if entry is not None:
-                if entry[1] == versions_get(key, 0):
-                    cache_groups.append(([r], entry[0], entry[2]))
-                    hits += 1
-                    excluded_rows.append(r)
-                    window[key] = window_get(key, 0) + 1
-                    continue
-                del entries[key]
-            misses += 1
-            seen = probation_get(key, 0) + 1
-            if seen >= _MIN_ADMIT:
-                probation.pop(key, None)
-                admissions.append((r, key))
-            else:
-                if len(probation) >= probation_cap:
-                    probation.clear()
-                probation[key] = seen
     if excluded_rows:
         state.excluded.update(excluded_rows)
+    if singles_probe:
+        # Keyspace-scale cache: lone rows usually hit too.
+        _probe_singletons(
+            state, cache, rows_arr[order[~in_multi]].tolist(), keys, written
+        )
     if cache is not None:
         cache.hits += hits
         cache.misses += misses

@@ -30,9 +30,15 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.engine.hotpath import HotPathState, dedup_batch_keys
+from repro.engine.hotpath import (
+    HotPathState,
+    _NOT_FOUND,
+    _written_positions,
+    dedup_batch_keys,
+)
 from repro.engine.plane import BatchPlane
 from repro.engine.vector import VectorEngine, fnv_hash_columns
+from repro.kv.protocol import Response, ResponseStatus
 from repro.kv.sharding import ShardedKVStore, shard_of
 from repro.net.wire import QueryColumns
 from repro.telemetry import get_telemetry
@@ -63,9 +69,13 @@ class ShardedEngine:
         shard.  Representative results are scattered back to duplicate
         rows after the merge.  Per-shard hot-key caches (attached via
         :meth:`~repro.kv.sharding.ShardedKVStore.attach_hot_cache`) are
-        served *inside* each shard by the inner engine; this engine feeds
-        their admissions, since after pre-split dedup the inner engine
-        only ever sees multiplicity-1 runs.
+        served at this level too: an unwritten multi-run is answered from
+        the owning shard's cache before the split (one probe per run, so
+        any cache size pays off), re-validated at merge time against
+        mid-batch eviction; this engine also feeds the caches' admissions,
+        since after pre-split dedup the inner engines only ever see
+        multiplicity-1 runs (which they probe themselves only against a
+        keyspace-scale cache).
     """
 
     name = "sharded"
@@ -122,6 +132,47 @@ class ShardedEngine:
         num_shards = store.num_shards
         assignment = self._assign_shards(plane.keys, num_shards)
         hotpath = dedup_batch_keys(plane) if self.dedup else None
+        # Serve unwritten multi-runs straight from the owning shard's hot
+        # cache at the pre-split level, where the run's multiplicity is
+        # known: one dict probe answers the whole run, so serving pays off
+        # at any cache size (the inner engines' capacity-gated singleton
+        # probe only kicks in for keyspace-scale caches).  Captures are
+        # provisional — a SET inside the batch can slab-evict a served key
+        # mid-batch, so each group is re-validated at merge time below.
+        served_groups: list[tuple[list[int], bytes, tuple, int]] = []
+        if hotpath is not None and hotpath.dups:
+            caches = [shard.hot_cache for shard in store.shards]
+            if any(c is not None and c.active for c in caches):
+                keys_col = plane.keys
+                written = _written_positions(plane)
+                for rep in list(hotpath.dups):
+                    key = keys_col[rep]
+                    if written is not None and key in written:
+                        continue
+                    cache = caches[assignment[rep]]
+                    if cache is None or not cache.active:
+                        continue
+                    dup_rows = hotpath.dups[rep]
+                    count = 1 + len(dup_rows)
+                    entry = cache.lookup_entry(key, count)
+                    if entry is None:
+                        hotpath.cache_misses += count
+                        continue
+                    served_groups.append(
+                        ([rep, *dup_rows], key, entry, assignment[rep])
+                    )
+                    hotpath.cache_hits += count
+                    del hotpath.dups[rep]
+                    hotpath.excluded.add(rep)
+                if served_groups:
+                    # Served keys are already resident; dropping their
+                    # queued admissions avoids a snapshot rebuild per batch.
+                    resident = {key for _rows, key, _e, _s in served_groups}
+                    hotpath.admissions = [
+                        (rep, key)
+                        for rep, key in hotpath.admissions
+                        if key not in resident
+                    ]
         shard_rows: list[list[int]] = [[] for _ in range(num_shards)]
         if hotpath is not None and hotpath.dup_count:
             # Duplicate rows stay out of every sub-batch; their run's
@@ -187,6 +238,43 @@ class ShardedEngine:
                 sub_statuses = sub.response_statuses
                 for local, row in enumerate(rows):
                     statuses[row] = sub_statuses[local]
+        for rows, key, entry, shard_idx in served_groups:
+            # Re-validate the captured snapshot (identity + version) before
+            # scattering: a SET routed to the same shard may have evicted
+            # or rewritten the key while the sub-batches ran.  A dead
+            # capture falls back to a direct index read on the owning
+            # shard, which post-MM resolves exactly as the plain path
+            # would (NOT_FOUND for a slab-evicted key).
+            shard = store.shards[shard_idx]
+            cache = shard.hot_cache
+            value, version, resp = entry
+            if (
+                cache._entries.get(key) is not entry
+                or cache._versions.get(key, 0) != version
+            ):
+                n = len(rows)
+                cache.hits -= n
+                cache.misses += n
+                hotpath.cache_hits -= n
+                hotpath.cache_misses += n
+                location = shard.multi_key_compare(
+                    [key], [shard.multi_index_search([key])[0]]
+                )[0]
+                value = shard.multi_read_value(
+                    [location], epoch=epoch, counts=[n]
+                )[0]
+                resp = _NOT_FOUND if value is None else Response(ResponseStatus.OK, value)
+            for r in rows:
+                responses[r] = resp
+                read_values[r] = value
+            if sizes is not None:
+                size = resp.wire_size
+                for r in rows:
+                    sizes[r] = size
+            if statuses is not None:
+                code = resp.status.value
+                for r in rows:
+                    statuses[r] = code
         if hotpath is not None:
             # Scatter each representative's result to its duplicate rows
             # and admit qualifying values into the owning shard's cache.
@@ -204,6 +292,13 @@ class ShardedEngine:
                     status = statuses[rep]
                     for d in dup_rows:
                         statuses[d] = status
+                # The shard's RD credited the run one access; restore the
+                # collapsed duplicates so key popularity (and therefore
+                # the skew estimate gating the hot cache) is not
+                # under-reported exactly where dedup collapses the most.
+                store.shards[assignment[rep]].record_extra_accesses(
+                    keys[rep], len(dup_rows), epoch=epoch
+                )
             for rep, key in hotpath.admissions:
                 cache = store.shards[assignment[rep]].hot_cache
                 if cache is not None and cache.active:

@@ -9,8 +9,10 @@ hot set living in the last-level cache.
 
 Correctness rests on two mechanisms:
 
-* **Versioning** — every key carries a monotonically increasing version
-  stamp, bumped by :meth:`on_write` / :meth:`invalidate` at the store's
+* **Versioning** — every cache-resident key carries a monotonically
+  increasing version stamp (keys without a live snapshot need none, so
+  the stamp map never outgrows the entry map),
+  bumped by :meth:`on_write` / :meth:`invalidate` at the store's
   single key-binding write points (:meth:`repro.kv.store.KVStore.allocate`,
   :meth:`~repro.kv.store.KVStore.delete`, and slab eviction, the same
   hooks that keep the NumPy signature mirror in sync).  A snapshot is
@@ -137,8 +139,10 @@ class HotKeyCache:
             self.misses += count
             return None
         if entry[1] != self._versions.get(key, 0):
-            # Stale snapshot: the key was rewritten since. Drop it.
+            # Stale snapshot: the key was rewritten since. Drop it — and
+            # its stamp, which only a live snapshot needs.
             del self._entries[key]
+            self._versions.pop(key, None)
             self.misses += count
             return None
         self._entries.move_to_end(key)
@@ -185,25 +189,30 @@ class HotKeyCache:
         return False
 
     def on_write(self, key: bytes, value: bytes) -> None:
-        """SET hook: bump the key's version; refresh an existing snapshot.
+        """SET hook: bump the version of and refresh a *resident* snapshot.
 
         Write-through for already-hot keys (the next batch's GETs hit
-        immediately); cold keys are not admitted on write — admission is
-        read-frequency-driven.
+        immediately); cold keys get neither a snapshot nor a version
+        stamp — admission is read-frequency-driven, and stamping every
+        written key would grow the version map by one entry per live
+        written key on write-heavy workloads.  Skipping the bump for
+        non-resident keys is safe: a later admit snapshots at version 0,
+        and the *next* write finds the snapshot resident and bumps, so
+        the stamp mismatch still invalidates it.
         """
-        version = self._versions.get(key, 0) + 1
-        self._versions[key] = version
-        if key in self._entries:
-            self._entries[key] = (value, version, Response(_OK, value))
-        self.invalidations += 1
+        entries = self._entries
+        if key in entries:
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            entries[key] = (value, version, Response(_OK, value))
+            self.invalidations += 1
 
     def invalidate(self, key: bytes) -> None:
         """DELETE/eviction hook: drop the snapshot and version stamp.
 
         With no snapshot left there is nothing a stale version could
         protect, so the stamp is released rather than kept forever (the
-        version map stays bounded by the snapshot set plus recently
-        rewritten keys).
+        version map never outgrows the resident snapshot set).
         """
         self._entries.pop(key, None)
         self._versions.pop(key, None)

@@ -173,6 +173,27 @@ class TestHotKeyCache:
         with pytest.raises(ConfigurationError):
             HotKeyCache(0)
 
+    def test_version_map_bounded_to_resident_snapshots(self):
+        """SETs of cache-cold keys must not grow the version map: stamps
+        exist only for resident snapshots, so the map never duplicates the
+        key bytes of every live written key on write-heavy workloads."""
+        cache = HotKeyCache(8)
+        for i in range(1000):
+            cache.on_write(b"cold-%04d" % i, b"v")
+        assert cache._versions == {}
+        cache.admit(b"hot", b"v1")
+        cache.on_write(b"hot", b"v2")
+        assert cache._versions == {b"hot": 1}
+        assert cache.lookup(b"hot") == b"v2"
+        # A later admit at version 0 is still invalidated/refreshed by the
+        # next write's bump, which finds the snapshot resident.
+        cache.invalidate(b"hot")
+        cache.on_write(b"hot", b"v3")  # cold again: no stamp
+        assert cache._versions == {}
+        cache.admit(b"hot", b"v3")  # snapshot stamped at version 0
+        cache.on_write(b"hot", b"v4")
+        assert cache.lookup(b"hot") == b"v4"
+
 
 # ----------------------------------------------------- engine equivalence
 
@@ -303,6 +324,44 @@ class TestStaleReadRegression:
         result = system.process([Query(QueryType.GET, b"k")] * 64)
         assert all(r.value == b"new" for r in result.responses)
 
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [lambda: SerialEngine(dedup=True), lambda: VectorEngine(dedup=True)],
+        ids=["serial", "vector"],
+    )
+    def test_mid_batch_slab_eviction_not_served_stale(self, engine_factory):
+        """A SET elsewhere in the same batch can slab-evict a cache-resident
+        key *between* intake (where the snapshot is captured) and the
+        post-RD scatter.  finish() must re-validate the captured group and
+        fall back to the index — which, the MM/Delete phases having run,
+        answers NOT_FOUND exactly like the plain path."""
+        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 12)
+        store.attach_hot_cache(64)
+        engine = engine_factory()
+        value = b"v" * 8000  # 8 KiB slab class: 128 chunks in the budget
+        victim = b"victim-00000"
+        run_batches(engine, store, [[Query(QueryType.SET, victim, value)]])
+        (warm,) = run_batches(engine, store, [[Query(QueryType.GET, victim)] * 4])
+        assert all(row == (ResponseStatus.OK, value) for row in warm)
+        assert store.hot_cache.lookup(victim) == value
+        evicted_rows = None
+        for i in range(200):
+            # Same-size fillers share the victim's slab class; the victim
+            # (cache-served, so never LRU-touched) is evicted mid-batch
+            # while its GET run sits captured for cache serving.
+            batch = [Query(QueryType.SET, b"filler-%05d" % i, value)]
+            batch += [Query(QueryType.GET, victim)] * 4
+            (rows,) = run_batches(engine, store, [batch])
+            if victim not in store._key_location:
+                evicted_rows = rows
+                break
+            assert all(row == (ResponseStatus.OK, value) for row in rows[1:])
+        assert evicted_rows is not None, "victim never slab-evicted"
+        assert all(
+            row == (ResponseStatus.NOT_FOUND, b"") for row in evicted_rows[1:]
+        ), "stale snapshot served after mid-batch slab eviction"
+        assert store.hot_cache.lookup(victim) is None
+
     def test_slab_eviction_invalidates_snapshot(self):
         """A key evicted by the slab LRU must stop being cache-served."""
         store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 16)
@@ -342,6 +401,101 @@ class TestShardImbalance:
         deduped = self._imbalance(dedup=True)
         assert plain > 1.0
         assert deduped < plain
+
+
+# ------------------------------------------------------- sharded hot path
+
+
+class TestShardedHotPath:
+    def test_inner_engines_serve_per_shard_caches(self):
+        """Pre-split dedup hands the inner engines multiplicity-1 runs;
+        the vector builder's singleton probe must still serve those from
+        the per-shard caches — otherwise --hot-cache with --shards admits
+        forever without a single hit."""
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        store.attach_hot_cache(1024)
+        engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
+        hot_keys = [b"hot-%02d" % i for i in range(8)]
+        run_batches(
+            engine, store, [[Query(QueryType.SET, k, b"v:" + k) for k in hot_keys]]
+        )
+        batch = [Query(QueryType.GET, k) for k in hot_keys for _ in range(8)]
+        first, second = run_batches(engine, store, [batch, batch])
+        expected = [(ResponseStatus.OK, b"v:" + k) for k in hot_keys for _ in range(8)]
+        assert first == expected and second == expected
+        hits = sum(shard.hot_cache.hits for shard in store.shards)
+        assert hits >= len(hot_keys), "per-shard caches admitted but never served"
+
+    def test_presplit_serving_at_default_scale_caches(self):
+        """Multi-runs must be served from the owning shard's cache at the
+        pre-split level: with per-shard caches far smaller than the batch
+        (the default provisioning), the inner engines' capacity-gated
+        singleton probe never fires, so without outer serving the caches
+        would admit forever and serve nothing."""
+        store = ShardedKVStore(16 << 20, 8192, 4)
+        store.attach_hot_cache(256)  # 64 per shard << batch GET count
+        engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
+        hot_keys = [b"hot-%03d" % i for i in range(256)]
+        run_batches(
+            engine, store, [[Query(QueryType.SET, k, b"v:" + k) for k in hot_keys]]
+        )
+        batch = [Query(QueryType.GET, k) for k in hot_keys for _ in range(8)]
+        first, second = run_batches(engine, store, [batch, batch])
+        expected = [(ResponseStatus.OK, b"v:" + k) for k in hot_keys for _ in range(8)]
+        assert first == expected and second == expected
+        hits = sum(shard.hot_cache.hits for shard in store.shards)
+        assert hits >= len(batch), "pre-split runs not served from shard caches"
+
+    def test_mid_batch_eviction_revalidated_at_merge(self):
+        """A SET routed to the served key's shard can slab-evict it while
+        the sub-batches run; the merge must re-validate the captured
+        snapshot and answer NOT_FOUND, never the stale value."""
+        from repro.kv.sharding import shard_of
+
+        store = ShardedKVStore(2 << 20, 8192, 2)  # 1 MB slab per shard
+        store.attach_hot_cache(128)
+        engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
+        value = b"v" * 8000
+        victim = b"victim-00000"
+        vshard = shard_of(victim, 2)
+        fillers = [
+            k
+            for k in (b"filler-%05d" % i for i in range(2000))
+            if shard_of(k, 2) == vshard
+        ]
+        run_batches(engine, store, [[Query(QueryType.SET, victim, value)]])
+        # Two warm GET batches: the first admits (merge-time admission),
+        # the second serves from the shard's cache.
+        run_batches(
+            engine, store, [[Query(QueryType.GET, victim)] * 4 for _ in range(2)]
+        )
+        assert store.shards[vshard].hot_cache.lookup(victim) == value
+        evicted_rows = None
+        for filler in fillers:
+            batch = [Query(QueryType.SET, filler, value)]
+            batch += [Query(QueryType.GET, victim)] * 4
+            (rows,) = run_batches(engine, store, [batch])
+            if victim not in store.shards[vshard]._key_location:
+                evicted_rows = rows
+                break
+            assert all(row == (ResponseStatus.OK, value) for row in rows[1:])
+        assert evicted_rows is not None, "victim never slab-evicted"
+        assert all(
+            row == (ResponseStatus.NOT_FOUND, b"") for row in evicted_rows[1:]
+        ), "stale snapshot served after mid-batch eviction in shard"
+        assert store.shards[vshard].hot_cache.lookup(victim) is None
+
+    def test_dedup_credits_duplicate_accesses(self):
+        """The outer merge credits a run's collapsed duplicates to the
+        object's profiler counter, mirroring the serial/vector counts
+        path — otherwise popularity is under-reported exactly where dedup
+        collapses the most, biasing the skew estimate."""
+        store = ShardedKVStore(8 << 20, 4096, 4)
+        engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
+        run_batches(engine, store, [[Query(QueryType.SET, b"hot", b"v")]])
+        run_batches(engine, store, [[Query(QueryType.GET, b"hot")] * 8])
+        obj = next(o for o in store.heap.objects() if o.key == b"hot")
+        assert obj.access_count == 8
 
 
 # ------------------------------------------------------------- telemetry
