@@ -238,6 +238,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wire=args.wire,
         drain_limit=args.drain_limit,
     )
+    if args.cluster_node:
+        return _serve_cluster_node(args, server)
     host, port = server.address
     print(f"serving on {host}:{port} (Ctrl-C to stop)")
     try:
@@ -247,6 +249,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
         print(f"\n{server.stats}")
+    return 0
+
+
+def _serve_cluster_node(args: argparse.Namespace, server) -> int:
+    """Run one cluster member: the server wrapped in a control plane."""
+    import signal
+
+    from repro.cluster.manifest import ClusterManifest
+    from repro.cluster.serving import ClusterNode
+
+    if not args.cluster_manifest:
+        print("error: --cluster-node requires --cluster-manifest", file=sys.stderr)
+        return 2
+    with open(args.cluster_manifest, encoding="utf-8") as handle:
+        manifest = ClusterManifest.from_json(handle.read())
+    node = ClusterNode(
+        args.cluster_node,
+        server,
+        manifest,
+        (args.host, args.cluster_control_port),
+        gated=args.cluster_gated,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: node.stop())
+    host, port = server.address
+    chost, cport = node.control_address
+    print(
+        f"cluster node {args.cluster_node} serving on {host}:{port} "
+        f"(control {chost}:{cport}, epoch {manifest.epoch}"
+        f"{', gated' if args.cluster_gated else ''})",
+        flush=True,
+    )
+    try:
+        node.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        node.stop()
+        print(f"\n{server.stats}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Spawn and supervise a server fleet with live membership changes."""
+    import signal
+
+    from repro.cluster.serving import ClusterCoordinator
+
+    serve_args: list[str] = []
+    serve_args += ["--memory-mb", str(args.memory_mb)]
+    serve_args += ["--expected-objects", str(args.expected_objects)]
+    serve_args += ["--engine", args.engine]
+    serve_args += ["--shards", str(args.shards)]
+    serve_args += ["--batch-size", str(args.batch_size)]
+    if args.dedup:
+        serve_args.append("--dedup")
+    if args.hot_cache:
+        serve_args.append("--hot-cache")
+    coordinator = ClusterCoordinator(
+        nodes=args.nodes,
+        host=args.host,
+        serve_args=serve_args,
+        workdir=args.workdir,
+        control_port=args.control_port,
+    )
+    # SIGTERM/SIGINT drain any in-flight migration (the membership lock)
+    # and tear down every child before the coordinator exits.
+    signal.signal(signal.SIGTERM, lambda *_: coordinator.shutdown())
+    signal.signal(signal.SIGINT, lambda *_: coordinator.shutdown())
+    coordinator.start()
+    chost, cport = coordinator.control_address
+    manifest = coordinator.manifest
+    print(f"cluster of {args.nodes} up: control {chost}:{cport}, epoch 1")
+    for name, info in sorted(manifest.nodes.items()):
+        print(f"  {name}: data {info.host}:{info.port}, control :{info.control_port}")
+    print("commands: repro-cluster control accepts manifest/status/"
+          "add_node/remove_node/shutdown (newline-delimited JSON)", flush=True)
+    try:
+        coordinator.serve_forever()
+    finally:
+        coordinator.shutdown()
+        print("cluster stopped")
     return 0
 
 
@@ -262,6 +345,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         get_ratio=args.get_ratio,
         seed=args.seed,
     )
+    if args.cluster:
+        from repro.loadgen import run_cluster_loadgen
+
+        host, _, port = args.cluster.rpartition(":")
+        report = run_cluster_loadgen(
+            (host or "127.0.0.1", int(port)),
+            shape,
+            mode=args.mode,
+            queries=args.queries,
+            workers=args.workers,
+            depth=args.depth,
+            duration_s=args.duration,
+            rate_qps=args.rate,
+            timeout_s=args.timeout,
+            do_prefill=not args.no_prefill,
+            max_payload=args.max_payload,
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report)
+        return 0
     report = run_loadgen(
         (args.host, args.port),
         shape,
@@ -397,11 +502,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the skew-gated versioned hot-key read cache",
     )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
+    cluster_group = p.add_argument_group("cluster membership (spawned by `repro cluster`)")
+    cluster_group.add_argument(
+        "--cluster-node", metavar="NAME", default=None,
+        help="serve as cluster member NAME (requires --cluster-manifest)",
+    )
+    cluster_group.add_argument(
+        "--cluster-manifest", metavar="PATH", default=None,
+        help="JSON cluster manifest giving every node's addresses and arcs",
+    )
+    cluster_group.add_argument(
+        "--cluster-control-port", type=int, default=0,
+        help="TCP control-plane port (default: OS-assigned)",
+    )
+    cluster_group.add_argument(
+        "--cluster-gated", action="store_true",
+        help="start gated: redirect all client traffic until activated",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster", help="spawn a ring-routed server fleet with live migration"
+    )
+    p.add_argument("--nodes", type=int, default=3, help="initial fleet size")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--control-port", type=int, default=0,
+        help="coordinator TCP control port (default: OS-assigned)",
+    )
+    p.add_argument(
+        "--workdir", default=None,
+        help="directory for manifests and per-node logs (default: temp dir)",
+    )
+    p.add_argument("--memory-mb", type=int, default=64, help="per-node store budget")
+    p.add_argument("--expected-objects", type=int, default=65536)
+    p.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="auto",
+        help="functional execution backend for every node (default: auto)",
+    )
+    p.add_argument("--shards", type=int, default=1, help="store shards per node")
+    p.add_argument("--batch-size", type=int, default=4096)
+    p.add_argument("--dedup", action="store_true")
+    p.add_argument("--hot-cache", action="store_true")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("loadgen", help="drive a running server with generated load")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=11311)
+    p.add_argument(
+        "--cluster", metavar="HOST:PORT", default=None,
+        help="drive a whole cluster instead: control endpoint (coordinator "
+        "or any node) to fetch the manifest from; requests are hash-split "
+        "per node and all nodes are driven concurrently",
+    )
     p.add_argument(
         "--mode", choices=("closed", "open"), default="closed",
         help="closed loop (windows in flight) or open loop (paced rate)",

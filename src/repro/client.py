@@ -1,14 +1,18 @@
-"""UDP client for a :class:`~repro.server.DidoUDPServer`.
+"""UDP clients for :class:`~repro.server.DidoUDPServer` deployments.
 
 Provides both a convenient per-call API (``get``/``set``/``delete``) and the
 batch API the paper's clients use (many queries per datagram, responses
-matched by order).
+matched by order).  :class:`ClusterClient` layers manifest-driven routing
+on top: one batch is hash-split across the fleet, driven concurrently over
+the same wire, and ``WRONG_NODE`` redirects are retried against refreshed
+manifests until every query has a real answer.
 """
 
 from __future__ import annotations
 
 import socket
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.kv.protocol import (
@@ -120,6 +124,212 @@ class DidoClient:
 
 #: Keep client datagrams comfortably below the receive buffer bound.
 _MAX_SEND_PAYLOAD = 48 * 1024
+
+
+# ---------------------------------------------------------------- cluster
+
+
+@dataclass
+class ClusterClientStats:
+    """Counters a :class:`ClusterClient` keeps across its lifetime."""
+
+    batches_sent: int = 0
+    responses_received: int = 0
+    redirects: int = 0
+    retries: int = 0
+    manifest_refreshes: int = 0
+    timeouts: int = 0
+    epochs_seen: list[int] = field(default_factory=list)
+
+
+class ClusterClient:
+    """Manifest-routed client for a multi-node cluster.
+
+    A batch is split by key ownership under the current manifest, each
+    sub-batch is executed against its owner, and the responses are
+    scattered back into request order.  A ``WRONG_NODE`` response (the
+    value carries the redirecting server's manifest epoch) marks that row
+    for retry: when the hinted epoch is newer than ours the manifest is
+    refreshed *from the redirecting node's control port* — during a
+    membership change that node learns the new topology before the
+    coordinator publishes it — and the row is re-routed.  Retries back
+    off briefly (a joining node redirects until the coordinator activates
+    it) and give up after ``retry_timeout_s``.
+
+    Parameters
+    ----------
+    manifest_source:
+        Either a :class:`~repro.cluster.manifest.ClusterManifest`, or the
+        ``(host, port)`` of a control endpoint (coordinator or any node)
+        to fetch one from.
+    """
+
+    def __init__(
+        self,
+        manifest_source,
+        timeout_s: float = 2.0,
+        retry_timeout_s: float = 30.0,
+        retry_backoff_s: float = 0.002,
+    ):
+        from repro.cluster.manifest import ClusterManifest, ManifestRouter
+        from repro.cluster.serving import fetch_manifest
+
+        self._fetch_manifest = fetch_manifest
+        self._make_router = ManifestRouter
+        if isinstance(manifest_source, ClusterManifest):
+            self.manifest = manifest_source
+            self._source: tuple[str, int] | None = None
+        else:
+            self._source = (manifest_source[0], int(manifest_source[1]))
+            self.manifest = fetch_manifest(self._source)
+        self._router = ManifestRouter(self.manifest)
+        self._timeout_s = timeout_s
+        self._retry_timeout_s = retry_timeout_s
+        self._retry_backoff_s = retry_backoff_s
+        self._clients: dict[tuple[str, int], DidoClient] = {}
+        self.stats = ClusterClientStats()
+        self.stats.epochs_seen.append(self.manifest.epoch)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    # ---------------------------------------------------------------- batch
+
+    def execute(self, queries: list[Query]) -> list[Response]:
+        """Split one batch across the fleet; responses in request order.
+
+        Every returned response is a real outcome — redirects are resolved
+        internally.  Raises :class:`TimeoutError_` if rows are still
+        unanswered after ``retry_timeout_s`` (a node down, or a membership
+        change that never converges).
+        """
+        if not queries:
+            return []
+        self.stats.batches_sent += 1
+        responses: list[Response | None] = [None] * len(queries)
+        pending = list(range(len(queries)))
+        deadline = time.monotonic() + self._retry_timeout_s
+        backoff = self._retry_backoff_s
+        while pending:
+            pending, refresh_from = self._execute_round(queries, responses, pending)
+            if not pending:
+                break
+            if time.monotonic() >= deadline:
+                raise TimeoutError_(
+                    f"{len(pending)}/{len(queries)} queries unanswered after "
+                    f"{self._retry_timeout_s:.1f}s of redirect retries"
+                )
+            self.stats.retries += 1
+            if refresh_from is not None:
+                self._refresh(refresh_from)
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.05)
+        self.stats.responses_received += len(queries)
+        return responses  # type: ignore[return-value]
+
+    def _execute_round(
+        self,
+        queries: list[Query],
+        responses: list[Response | None],
+        pending: list[int],
+    ) -> tuple[list[int], tuple[str, int] | None]:
+        """One routing round; returns rows still pending and, if a redirect
+        hinted at a newer epoch, the control address to refresh from."""
+        router = self._router
+        names = router.names
+        owner_ids = router.owner_ids_for([queries[row].key for row in pending])
+        groups: dict[str, list[int]] = {}
+        for row, owner in zip(pending, owner_ids):
+            groups.setdefault(names[owner], []).append(row)
+        still_pending: list[int] = []
+        refresh_from: tuple[str, int] | None = None
+        for name, rows in groups.items():
+            info = self.manifest.nodes[name]
+            client = self._client_for(info.address)
+            try:
+                answers = client.execute([queries[row] for row in rows])
+            except TimeoutError_:
+                # UDP loss: the sub-batch's response accounting is ruined,
+                # so retire this socket (late stragglers must not bleed
+                # into the next attempt) and retry the rows wholesale.
+                self.stats.timeouts += 1
+                self._drop_client(info.address)
+                still_pending.extend(rows)
+                continue
+            for row, answer in zip(rows, answers):
+                if answer.status is ResponseStatus.WRONG_NODE:
+                    self.stats.redirects += 1
+                    still_pending.append(row)
+                    hint = (
+                        int.from_bytes(answer.value[:8], "little")
+                        if len(answer.value) >= 8
+                        else 0
+                    )
+                    if hint > self.manifest.epoch:
+                        refresh_from = info.control_address
+                else:
+                    responses[row] = answer
+        return still_pending, refresh_from
+
+    def _refresh(self, control_address: tuple[str, int]) -> None:
+        for source in (control_address, self._source):
+            if source is None:
+                continue
+            try:
+                manifest = self._fetch_manifest(source)
+            except Exception:  # noqa: BLE001 - any fetch failure -> next source
+                continue
+            if manifest.epoch > self.manifest.epoch:
+                self.manifest = manifest
+                self._router = self._make_router(manifest)
+                self.stats.manifest_refreshes += 1
+                self.stats.epochs_seen.append(manifest.epoch)
+            return
+
+    def _client_for(self, address: tuple[str, int]) -> DidoClient:
+        address = (address[0], int(address[1]))
+        client = self._clients.get(address)
+        if client is None:
+            client = DidoClient(address, timeout_s=self._timeout_s)
+            self._clients[address] = client
+        return client
+
+    def _drop_client(self, address: tuple[str, int]) -> None:
+        address = (address[0], int(address[1]))
+        client = self._clients.pop(address, None)
+        if client is not None:
+            client.close()
+
+    # ------------------------------------------------------------ one-shots
+
+    def set(self, key: bytes, value: bytes) -> bool:
+        response = self.execute([Query(QueryType.SET, key, value)])[0]
+        return response.status is ResponseStatus.STORED
+
+    def get(self, key: bytes) -> bytes | None:
+        response = self.execute([Query(QueryType.GET, key)])[0]
+        if response.status is ResponseStatus.OK:
+            return response.value
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        response = self.execute([Query(QueryType.DELETE, key)])[0]
+        return response.status is ResponseStatus.DELETED
+
+    def mget(self, keys: list[bytes]) -> dict[bytes, bytes]:
+        out: dict[bytes, bytes] = {}
+        for key, response in zip(keys, self.execute([Query(QueryType.GET, k) for k in keys])):
+            if response.status is ResponseStatus.OK:
+                out[key] = response.value
+        return out
 
 
 def _datagram_groups(queries: list[Query]) -> list[list[Query]]:

@@ -30,6 +30,11 @@ def _mix(value: int) -> int:
     return value ^ (value >> 31)
 
 
+def key_point(key: bytes) -> int:
+    """Ring position of ``key`` (the hash the router bisects against)."""
+    return _mix(fnv1a64(key))
+
+
 class HashRing:
     """A consistent-hash ring mapping keys to node names."""
 
@@ -73,8 +78,45 @@ class HashRing:
     def nodes(self) -> frozenset[str]:
         return frozenset(self._nodes)
 
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
     def __len__(self) -> int:
         return len(self._nodes)
+
+    def points_of(self, name: str) -> list[int]:
+        """The ring points ``name`` actually occupies (sorted), including
+        any collision nudges — what a cluster manifest records so every
+        router bisects the byte-identical ring."""
+        if name not in self._nodes:
+            raise ConfigurationError(f"node {name!r} not on the ring")
+        return sorted(p for p, owner in self._owners.items() if owner == name)
+
+    def owner_points(self) -> dict[int, str]:
+        """Every ring point and its owner (a copy; manifest serialisation)."""
+        return dict(self._owners)
+
+    @classmethod
+    def from_points(
+        cls, owners: dict[int, str], vnodes: int = DEFAULT_VNODES
+    ) -> "HashRing":
+        """Rebuild a ring from explicit ``point -> owner`` placements.
+
+        The inverse of :meth:`owner_points`: a manifest decoded on another
+        host reconstructs the exact ring (nudged collisions included)
+        without re-deriving placements from node names.
+        """
+        ring = cls(vnodes)
+        for point, owner in owners.items():
+            if not owner:
+                raise ConfigurationError("node name must be non-empty")
+            if point in ring._owners:
+                raise ConfigurationError(f"duplicate ring point {point}")
+            ring._owners[point] = owner
+            ring._nodes.add(owner)
+        ring._points = sorted(ring._owners)
+        return ring
 
     # --------------------------------------------------------------- routing
 
@@ -82,7 +124,7 @@ class HashRing:
         """The node owning ``key`` (first point clockwise of its hash)."""
         if not self._points:
             raise ConfigurationError("ring has no nodes")
-        point = _mix(fnv1a64(key))
+        point = key_point(key)
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
             index = 0

@@ -84,6 +84,7 @@ class ShardedEngine:
         self._inner = inner if inner is not None else VectorEngine(dedup=dedup)
         self.dedup = dedup
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
 
     def _ensure_pool(self, num_shards: int) -> ThreadPoolExecutor | None:
         """The worker pool, or ``None`` when threads cannot help.
@@ -91,15 +92,25 @@ class ShardedEngine:
         Sub-batches run inline on single-core machines: a pool of one
         (or GIL-timesliced workers on one core) adds submit/wake-up
         overhead without any overlap to pay for it.
+
+        The pool is sized to the *current* shard count, never beyond it:
+        an engine reused against a store with a different shard count
+        (the same engine instance serves whatever plane it is handed)
+        re-creates the pool rather than keeping a stale worker count —
+        extra threads beyond the shard count only add GIL contention.
         """
         workers = min(num_shards, MAX_WORKERS, os.cpu_count() or 1)
         if workers <= 1:
             return None
+        if self._pool is not None and self._pool_workers != workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=workers,
                 thread_name_prefix="repro-shard",
             )
+            self._pool_workers = workers
         return self._pool
 
     def close(self) -> None:

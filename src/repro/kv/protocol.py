@@ -39,6 +39,11 @@ class ResponseStatus(enum.Enum):
     STORED = 2
     DELETED = 3
     ERROR = 4
+    #: Cluster redirect: the queried server does not own the key under its
+    #: current manifest.  The response value carries the server's manifest
+    #: epoch as 8 little-endian bytes; the client refreshes its manifest
+    #: and retries against the new owner (see ``docs/cluster.md``).
+    WRONG_NODE = 5
 
 
 @dataclass

@@ -60,11 +60,14 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.kv.protocol import (
     Query,
     Response,
+    ResponseStatus,
     decode_queries,
     encode_responses,
 )
+from repro.pipeline.functional import BatchResult
 from repro.net.wire import (
     QueryColumns,
+    RESPONSE_HEADER_BYTES,
     chunk_response_payloads,
     decode_window,
     encode_response_window,
@@ -104,6 +107,9 @@ class ServerStats:
     queries: int = 0
     batches: int = 0
     protocol_errors: int = 0
+    #: Queries answered with a cluster WRONG_NODE redirect (the key is
+    #: not owned under the server's current manifest).
+    redirects: int = 0
 
 
 class DidoUDPServer:
@@ -202,6 +208,20 @@ class DidoUDPServer:
         self._running = threading.Event()
         self._thread: threading.Thread | None = None
         self.stats = ServerStats()
+        #: Cluster ownership view (duck-typed: ``misrouted_rows(keys)``,
+        #: ``epoch``, ``redirect_value``); ``None`` serves every key.
+        #: Swapped atomically by :class:`repro.cluster.serving.ClusterNode`
+        #: on manifest install — the serve loop reads it once per window.
+        self.ownership = None
+        #: Called with each batch actually applied to the store (after the
+        #: ownership filter); cluster migration uses it to track writes to
+        #: keys in flight.  Exceptions are logged, never fatal.
+        self.batch_hook = None
+        #: Called once per serve-loop iteration (even idle ones); cluster
+        #: migration advances its chunked copy state machine here, so the
+        #: transfer runs in the serve thread and never races batch
+        #: processing on the store.
+        self.idle_hook = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -254,6 +274,12 @@ class DidoUDPServer:
                 # serve loop on hostile input.
                 self.stats.protocol_errors += 1
                 logger.warning("dropping undecodable window: %s", exc)
+            hook = self.idle_hook
+            if hook is not None:
+                try:
+                    hook()
+                except Exception:  # pragma: no cover - hook bug, not traffic
+                    logger.exception("cluster idle hook failed")
 
     # ------------------------------------------------------------- serving
 
@@ -433,7 +459,12 @@ class DidoUDPServer:
                     batch.extend(segment.to_queries())
                 else:
                     batch.extend(segment)
-        result = self.system.process(batch)
+        ownership = self.ownership
+        if ownership is not None:
+            result = self._process_owned(batch, ownership)
+        else:
+            result = self.system.process(batch)
+            self._observe_batch(batch)
         self.stats.queries += len(batch)
         self.stats.batches += 1
         telemetry = get_telemetry()
@@ -454,6 +485,86 @@ class DidoUDPServer:
             self._send_columnar(pending, result, telemetry)
         else:
             self._send_legacy(pending, result)
+
+    def _observe_batch(self, batch) -> None:
+        hook = self.batch_hook
+        if hook is not None:
+            try:
+                hook(batch)
+            except Exception:  # pragma: no cover - hook bug, not traffic
+                logger.exception("cluster batch hook failed")
+
+    def _process_owned(self, batch, ownership) -> BatchResult:
+        """Ownership-filtered processing: apply owned rows to the store,
+        answer the rest with ``WRONG_NODE`` redirects carrying the current
+        manifest epoch, and merge both into one window-shaped result.
+
+        Misrouted queries never touch the store — a SET routed to the
+        wrong node during a membership change must not create a divergent
+        replica.
+        """
+        if isinstance(batch, QueryColumns):
+            keys = batch.keys
+        else:
+            keys = [q.key for q in batch]
+        misrouted = ownership.misrouted_rows(keys)
+        if not misrouted:
+            result = self.system.process(batch)
+            self._observe_batch(batch)
+            return result
+        self.stats.redirects += len(misrouted)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.counter(
+                "repro_cluster_redirects_total",
+                help="Queries answered with a WRONG_NODE redirect",
+            ).inc(len(misrouted), node=getattr(ownership, "name", ""))
+            telemetry.registry.gauge(
+                "repro_cluster_redirect_rate",
+                help="Redirected fraction of the last ownership-checked window",
+            ).set(len(misrouted) / len(keys))
+        redirect = Response(ResponseStatus.WRONG_NODE, ownership.redirect_value)
+        misrouted_set = set(misrouted)
+        owned_rows = [i for i in range(len(keys)) if i not in misrouted_set]
+        if owned_rows:
+            if isinstance(batch, QueryColumns):
+                sub = QueryColumns(
+                    [batch.qtypes[i] for i in owned_rows],
+                    [batch.keys[i] for i in owned_rows],
+                    [batch.values[i] for i in owned_rows],
+                )
+            else:
+                sub = [batch[i] for i in owned_rows]
+            inner = self.system.process(sub)
+            self._observe_batch(sub)
+        else:
+            inner = None
+        n = len(keys)
+        code = ResponseStatus.WRONG_NODE.value
+        size = RESPONSE_HEADER_BYTES + len(redirect.value)
+        responses: list[Response] = [redirect] * n
+        has_columns = inner is None or inner.response_statuses is not None
+        statuses = [code] * n if has_columns else None
+        values = [redirect.value] * n if has_columns else None
+        sizes = [size] * n if has_columns else None
+        if inner is not None:
+            for local, row in enumerate(owned_rows):
+                responses[row] = inner.responses[local]
+            if has_columns:
+                inner_statuses = inner.response_statuses
+                inner_values = inner.response_values
+                inner_sizes = inner.response_sizes
+                for local, row in enumerate(owned_rows):
+                    statuses[row] = inner_statuses[local]
+                    values[row] = inner_values[local]
+                    sizes[row] = inner_sizes[local]
+        return BatchResult(
+            responses,
+            inner.config_label if inner is not None else "redirect-only",
+            response_sizes=sizes,
+            response_statuses=statuses,
+            response_values=values,
+        )
 
     def _send_columnar(self, pending, result, telemetry) -> None:
         """TX through the single-pass framer: one shared buffer, peer

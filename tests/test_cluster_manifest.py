@@ -1,0 +1,184 @@
+"""Cluster manifest and router tests: serialisation, routing identity,
+and the ring's arc-reassignment contract under membership change."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.manifest import ClusterManifest, ManifestRouter, NodeInfo
+from repro.cluster.ring import HashRing
+from repro.errors import ConfigurationError
+
+
+def make_ring(names, vnodes=16):
+    ring = HashRing(vnodes)
+    for name in names:
+        ring.add_node(name)
+    return ring
+
+
+def make_manifest(names, epoch=1, vnodes=16, base_port=11000):
+    ring = make_ring(names, vnodes)
+    addresses = {
+        name: ("127.0.0.1", base_port + 2 * i, base_port + 2 * i + 1)
+        for i, name in enumerate(sorted(names))
+    }
+    return ClusterManifest.from_ring(epoch, ring, addresses)
+
+
+# ------------------------------------------------------------ serialisation
+
+
+class TestManifestSerialisation:
+    def test_json_round_trip(self):
+        manifest = make_manifest(["alpha", "beta", "gamma"])
+        decoded = ClusterManifest.from_json(manifest.to_json())
+        assert decoded == manifest
+        assert decoded.epoch == 1
+        assert sorted(decoded.nodes) == ["alpha", "beta", "gamma"]
+
+    def test_round_trip_preserves_exact_ring(self):
+        names = ["alpha", "beta", "gamma"]
+        ring = make_ring(names)
+        manifest = make_manifest(names)
+        rebuilt = ClusterManifest.from_json(manifest.to_json()).to_ring()
+        assert rebuilt.owner_points() == ring.owner_points()
+        for i in range(500):
+            key = f"key-{i}".encode()
+            assert rebuilt.node_for(key) == ring.node_for(key)
+
+    def test_addresses_survive(self):
+        manifest = make_manifest(["a", "b"])
+        decoded = ClusterManifest.from_dict(manifest.to_dict())
+        info = decoded.nodes["b"]
+        assert isinstance(info, NodeInfo)
+        assert info.address == manifest.nodes["b"].address
+        assert info.control_address == manifest.nodes["b"].control_address
+
+    def test_epoch_must_be_positive(self):
+        ring = make_ring(["a"])
+        with pytest.raises(ConfigurationError):
+            ClusterManifest.from_ring(0, ring, {"a": ("127.0.0.1", 1, 2)})
+
+    def test_missing_address_rejected(self):
+        ring = make_ring(["a", "b"])
+        with pytest.raises(ConfigurationError, match="no address"):
+            ClusterManifest.from_ring(1, ring, {"a": ("127.0.0.1", 1, 2)})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterManifest.from_json("not json at all {")
+
+    def test_malformed_payload_rejected(self):
+        manifest = make_manifest(["a"])
+        payload = manifest.to_dict()
+        del payload["nodes"]["a"]["points"]
+        with pytest.raises(ConfigurationError):
+            ClusterManifest.from_dict(payload)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ClusterManifest(
+                1,
+                [
+                    NodeInfo("a", "h", 1, 2, (10, 20)),
+                    NodeInfo("b", "h", 3, 4, (20, 30)),
+                ],
+            )
+
+    def test_json_is_plain_data(self):
+        # The wire planes carry no pickle; the manifest must stay JSON.
+        payload = json.loads(make_manifest(["a", "b"]).to_json())
+        assert set(payload) == {"epoch", "vnodes", "nodes"}
+
+
+# ------------------------------------------------------------------ routing
+
+
+class TestManifestRouter:
+    def test_matches_ring_key_by_key(self):
+        names = ["alpha", "beta", "gamma", "delta"]
+        ring = make_ring(names)
+        router = ManifestRouter(make_manifest(names))
+        keys = [f"user:{i}".encode() for i in range(2000)]
+        assert router.owners_for(keys) == [ring.node_for(k) for k in keys]
+
+    def test_scalar_and_vector_paths_agree(self):
+        router = ManifestRouter(make_manifest(["a", "b", "c"]))
+        keys = [f"k{i}".encode() for i in range(300)]
+        vector = router.owners_for(keys)
+        scalar = [router.owner_for(k) for k in keys]
+        assert vector == scalar
+        # Small batches take the scalar path by design; same answers.
+        assert router.owners_for(keys[:5]) == scalar[:5]
+
+    def test_owner_ids_index_names(self):
+        router = ManifestRouter(make_manifest(["b", "a"]))
+        assert router.names == ["a", "b"]
+        ids = router.owner_ids_for([b"some-key"])
+        assert router.names[ids[0]] == router.owner_for(b"some-key")
+
+
+# --------------------------------------------- arc reassignment (property)
+
+
+node_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+
+
+@given(names=node_names, joiner=st.text(alphabet="xyz", min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_add_node_moves_only_arcs_gained_by_the_joiner(names, joiner):
+    """Adding a node moves exactly the keys whose owner changed, and every
+    one of them moves *to the joiner* — never between surviving nodes."""
+    if joiner in names:
+        joiner = joiner + "-new"
+    ring = make_ring(names, vnodes=8)
+    keys = [f"key-{i}".encode() for i in range(400)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.add_node(joiner)
+    after = {key: ring.node_for(key) for key in keys}
+    moved = {key for key in keys if before[key] != after[key]}
+    for key in moved:
+        assert after[key] == joiner, (
+            f"{key!r} moved {before[key]} -> {after[key]}, not to the joiner"
+        )
+    for key in set(keys) - moved:
+        assert before[key] == after[key]
+
+
+@given(names=node_names)
+@settings(max_examples=30, deadline=None)
+def test_remove_node_moves_only_the_leavers_keys(names):
+    """Removing a node reassigns exactly its keys; survivors keep theirs."""
+    ring = make_ring(names, vnodes=8)
+    leaver = sorted(names)[0]
+    keys = [f"key-{i}".encode() for i in range(400)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove_node(leaver)
+    after = {key: ring.node_for(key) for key in keys}
+    for key in keys:
+        if before[key] == leaver:
+            assert after[key] != leaver
+        else:
+            assert after[key] == before[key], (
+                f"{key!r} moved between survivors {before[key]} -> {after[key]}"
+            )
+
+
+@given(names=node_names, epoch=st.integers(min_value=1, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_manifest_round_trip_routing_identity(names, epoch):
+    manifest = make_manifest(names, epoch=epoch)
+    router = ManifestRouter(manifest)
+    decoded = ClusterManifest.from_json(manifest.to_json())
+    router2 = ManifestRouter(decoded)
+    keys = [f"k{i}".encode() for i in range(100)]
+    assert router.owners_for(keys) == router2.owners_for(keys)
+    assert decoded.epoch == epoch
