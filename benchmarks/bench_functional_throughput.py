@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -169,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         "batch_size": args.batch_size,
         "batches": args.batches,
         "shards": args.shards,
+        # Sharded speedups depend on real cores; record the host size so
+        # flat numbers on 1-2 core CI hosts are self-explaining.
+        "cpu_count": os.cpu_count(),
         "results": results,
         "mean_speedup": round(
             sum(r["speedup"] for r in results) / len(results), 3

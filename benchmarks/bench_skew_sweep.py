@@ -24,11 +24,19 @@ snapshot, so ``vector-hot`` should clear 1.5x over plain ``vector`` at
 skew 0.99; at skew 0.0 there is nothing to collapse and the uniformity
 gate must keep the hot path within 5 % of plain.
 
+The sweep also covers the process-per-shard backend (``procshard`` /
+``procshard-hot``): shard workers are real processes fed over
+shared-memory ring arenas, so on a host with ``cpu_count >= shards`` it
+is the one contender that can beat single-core ``vector`` at *uniform*
+skew (the GIL caps every thread-pool backend there).  The recorded
+``cpu_count`` makes flat curves on small CI hosts self-explaining.
+
 Standalone (not a pytest benchmark): run as
 
     PYTHONPATH=src python benchmarks/bench_skew_sweep.py \
         [--batch-size 4096] [--batches 8] [--warmup 16] [--repeat 3] \
-        [--shards 4] [--skews 0.0,0.5,0.9,0.99,1.2] [--out BENCH_skew.json]
+        [--shards 4] [--skews 0.0,0.5,0.9,0.99,1.2] \
+        [--contenders vector,procshard] [--out BENCH_skew.json]
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import sys
 import time
 
@@ -45,6 +54,7 @@ from repro.engine import (
     StealingEngine,
     VectorEngine,
 )
+from repro.engine.procshard import ProcShardEngine, ProcShardStore
 from repro.kv.sharding import ShardedKVStore
 from repro.kv.store import KVStore
 from repro.pipeline.functional import FunctionalPipeline
@@ -74,7 +84,22 @@ def make_batches(skew: float, batch_size: int, batches: int, seed: int):
     return stream, [stream.next_batch(batch_size) for _ in range(batches)]
 
 
-def fresh_store(stream: QueryStream, shards: int, hot: bool, batch_size: int):
+def fresh_store(
+    stream: QueryStream, shards: int, hot: bool, batch_size: int, kind: str = "thread"
+):
+    if kind == "proc":
+        # Process-per-shard: dedup/hot-cache live inside the workers;
+        # caches attach active (bench parity with the direct attach below).
+        store = ProcShardStore(
+            64 << 20,
+            2 * NUM_KEYS,
+            shards,
+            dedup=hot,
+            hot_cache=hot,
+            hot_cache_keys=shards * CACHE_BATCHES * batch_size if hot else None,
+        )
+        store.populate(stream.populate_items(NUM_KEYS))
+        return store
     if shards > 1:
         store = ShardedKVStore(64 << 20, 2 * NUM_KEYS, shards)
     else:
@@ -86,31 +111,36 @@ def fresh_store(stream: QueryStream, shards: int, hot: bool, batch_size: int):
 
 
 def contenders(shards: int):
-    """(label, engine factory, shard count, hot) — plain and hot variants."""
+    """(label, engine factory, shard count, hot, store kind) variants."""
     return [
-        ("serial", lambda: SerialEngine(), 1, False),
-        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True),
-        ("stealing", lambda: StealingEngine(), 1, False),
-        ("stealing-hot", lambda: StealingEngine(dedup=True), 1, True),
-        ("vector", lambda: VectorEngine(), 1, False),
-        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True),
-        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, False),
+        ("serial", lambda: SerialEngine(), 1, False, "thread"),
+        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True, "thread"),
+        ("stealing", lambda: StealingEngine(), 1, False, "thread"),
+        ("stealing-hot", lambda: StealingEngine(dedup=True), 1, True, "thread"),
+        ("vector", lambda: VectorEngine(), 1, False, "thread"),
+        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True, "thread"),
+        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, False, "thread"),
         (
             "sharded-hot",
             lambda: ShardedEngine(VectorEngine(dedup=True), dedup=True),
             shards,
             True,
+            "thread",
         ),
+        ("procshard", lambda: ProcShardEngine(), shards, False, "proc"),
+        ("procshard-hot", lambda: ProcShardEngine(), shards, True, "proc"),
     ]
 
 
-def run_engine(engine, config, stream, batches, shards, hot, batch_size, warmup):
+def run_engine(
+    engine, config, stream, batches, shards, hot, batch_size, warmup, kind="thread"
+):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
     list covers every batch so identity checks span warmup too.
     """
-    store = fresh_store(stream, shards, hot, batch_size)
+    store = fresh_store(stream, shards, hot, batch_size, kind)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
@@ -125,22 +155,28 @@ def run_engine(engine, config, stream, batches, shards, hot, batch_size, warmup)
     ]
     if isinstance(engine, ShardedEngine):
         engine.close()
+    if isinstance(store, ProcShardStore):
+        store.close()
     return elapsed, outputs
 
 
-def bench_skew(skew, config, batch_size, num_batches, warmup, repeat, shards, seed):
+def bench_skew(
+    skew, config, batch_size, num_batches, warmup, repeat, shards, seed, only=None
+):
     stream, batches = make_batches(skew, batch_size, num_batches + warmup, seed)
     timed_queries = batch_size * num_batches
     _, reference = run_engine(
         "reference", config, stream, batches, 1, False, batch_size, warmup
     )
     best: dict[str, float] = {}
-    for label, factory, engine_shards, hot in contenders(shards):
+    for label, factory, engine_shards, hot, kind in contenders(shards):
+        if only is not None and label not in only:
+            continue
         best[label] = float("inf")
         for _ in range(repeat):
             elapsed, outputs = run_engine(
                 factory(), config, stream, batches, engine_shards, hot,
-                batch_size, warmup,
+                batch_size, warmup, kind,
             )
             if outputs != reference:
                 raise AssertionError(
@@ -150,10 +186,14 @@ def bench_skew(skew, config, batch_size, num_batches, warmup, repeat, shards, se
     row = {"skew": skew, "queries": timed_queries, "byte_identical": True}
     for label, seconds in best.items():
         row[f"{label}_qps"] = round(timed_queries / seconds)
-    for backend in ("serial", "stealing", "vector", "sharded"):
-        row[f"{backend}_hot_speedup"] = round(
-            best[backend] / best[f"{backend}-hot"], 3
-        )
+    for backend in ("serial", "stealing", "vector", "sharded", "procshard"):
+        if backend in best and f"{backend}-hot" in best:
+            row[f"{backend}_hot_speedup"] = round(
+                best[backend] / best[f"{backend}-hot"], 3
+            )
+    if "vector" in best and "procshard" in best:
+        # The tentpole's success metric: procshard over single-core vector.
+        row["procshard_vs_vector"] = round(best["vector"] / best["procshard"], 3)
     return row
 
 
@@ -166,26 +206,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--skews", default="0.0,0.5,0.9,0.99,1.2")
+    parser.add_argument(
+        "--contenders",
+        default=None,
+        help="comma-separated contender labels to run (default: all)",
+    )
     parser.add_argument("--out", default="BENCH_skew.json")
     args = parser.parse_args(argv)
 
     config = megakv_coupled_config()
     skews = [float(s) for s in args.skews.split(",") if s.strip()]
+    only = None
+    if args.contenders:
+        only = {label.strip() for label in args.contenders.split(",") if label.strip()}
+        known = {label for label, *_ in contenders(args.shards)}
+        unknown = only - known
+        if unknown:
+            parser.error(f"unknown contenders: {sorted(unknown)}")
     results = []
     for skew in skews:
         row = bench_skew(
             skew, config, args.batch_size, args.batches, args.warmup,
-            args.repeat, args.shards, args.seed,
+            args.repeat, args.shards, args.seed, only,
         )
         results.append(row)
-        print(
-            f"skew {skew:<4} vector={row['vector_qps']:>9,} q/s  "
-            f"vector-hot={row['vector-hot_qps']:>9,} q/s "
-            f"({row['vector_hot_speedup']:.2f}x)  "
-            f"sharded-hot={row['sharded-hot_qps']:>9,} q/s "
-            f"({row['sharded_hot_speedup']:.2f}x)",
-            flush=True,
-        )
+        parts = [f"skew {skew:<4}"]
+        for label in ("vector", "vector-hot", "sharded-hot", "procshard",
+                      "procshard-hot"):
+            qps = row.get(f"{label}_qps")
+            if qps is not None:
+                parts.append(f"{label}={qps:>9,} q/s")
+        if "procshard_vs_vector" in row:
+            parts.append(f"(procshard {row['procshard_vs_vector']:.2f}x vector)")
+        print("  ".join(parts), flush=True)
 
     payload = {
         "workload": f"K16-G{round(GET_RATIO * 100)} sweep",
@@ -195,6 +248,9 @@ def main(argv: list[str] | None = None) -> int:
         "num_keys": NUM_KEYS,
         "cache_capacity": CACHE_BATCHES * args.batch_size,
         "shards": args.shards,
+        # Flat procshard/sharded scaling curves on 1-2 core CI hosts are
+        # expected; record the host size so they read as such.
+        "cpu_count": os.cpu_count(),
         "pipeline": config.label,
         "results": results,
     }

@@ -240,6 +240,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.cluster_node:
         return _serve_cluster_node(args, server)
+    import signal
+
+    # SIGTERM drains like Ctrl-C: the serve loop finishes its window, the
+    # system closes (procshard workers shut down and every shared-memory
+    # arena is unlinked) before the process exits.
+    signal.signal(signal.SIGTERM, lambda *_: server.stop())
     host, port = server.address
     print(f"serving on {host}:{port} (Ctrl-C to stop)")
     try:
@@ -248,6 +254,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        system.close()
         print(f"\n{server.stats}")
     return 0
 
@@ -286,6 +293,7 @@ def _serve_cluster_node(args: argparse.Namespace, server) -> int:
         pass
     finally:
         node.stop()
+        server.system.close()
         print(f"\n{server.stats}")
     return 0
 

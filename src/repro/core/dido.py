@@ -106,7 +106,29 @@ class DidoSystem:
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
-        if shards > 1:
+        self._procshard = engine == "procshard" or (
+            getattr(engine, "name", None) == "procshard"
+        )
+        if self._procshard:
+            # Process-per-shard: the store facade owns one worker process
+            # per shard; dedup and the hot cache live *inside* the workers
+            # (each sees its shard's full runs), so the parent attaches
+            # nothing and the flags travel in the worker config.
+            from repro.engine.procshard import ProcShardStore
+
+            self.store = ProcShardStore(
+                budget,
+                expected_objects,
+                max(shards, 1),
+                dedup=dedup,
+                hot_cache=hot_cache,
+                hot_cache_keys=hot_cache_keys,
+                # Caches start cold and inactive, exactly like the
+                # in-process path; each batch header carries the skew
+                # gate once the profiler has seen a window.
+                hot_cache_active=False,
+            )
+        elif shards > 1:
             self.store = ShardedKVStore(budget, expected_objects, shards)
             if engine is None or engine == "auto":
                 engine = "sharded"
@@ -118,7 +140,7 @@ class DidoSystem:
         else:
             self.store = KVStore(budget, expected_objects)
         self._hot_caches = []
-        if hot_cache:
+        if hot_cache and not self._procshard:
             if isinstance(self.store, ShardedKVStore):
                 self._hot_caches = self.store.attach_hot_cache(hot_cache_keys)
             else:
@@ -168,7 +190,9 @@ class DidoSystem:
         self.profiler.observe_insert_buckets(self.store.index.stats.average_insert_buckets())
         profile = self.profiler.snapshot()
         self._harvest_frequencies()
-        if self._hot_caches:
+        if self._procshard:
+            profile = self._feed_procshard(profile)
+        elif self._hot_caches:
             profile = self._feed_hot_caches(profile)
         config = self.controller.config_for(profile)
         result = self.pipeline.process_batch(config, queries)
@@ -221,12 +245,43 @@ class DidoSystem:
             return profile
         return replace(profile, measured_hot_fraction=self._last_measured)
 
+    def _feed_procshard(self, profile: WorkloadProfile):
+        """Procshard counterpart of :meth:`_feed_hot_caches`.
+
+        The caches live inside the shard workers, so the router records
+        the window's skew on the store facade (each batch header then
+        carries it to the workers, whose caches run the same
+        ``gate_on_skew`` hysteresis) and derives the measured hot fraction
+        from the hit/miss totals the workers piggyback on batch replies —
+        no extra round trips.
+        """
+        store = self.store
+        store.note_skew(profile.zipf_skew)
+        hits, misses = store.hot_cache_totals()
+        total = hits + misses
+        window_hits = hits - self._cache_hits_seen
+        window_total = total - self._cache_total_seen
+        self._cache_hits_seen = hits
+        self._cache_total_seen = total
+        if window_total > 0:
+            self._last_measured = window_hits / window_total
+        if self._last_measured is None:
+            return profile
+        return replace(profile, measured_hot_fraction=self._last_measured)
+
     def _harvest_frequencies(self, sample: int = 512) -> None:
         """Feed recently touched objects' in-window counts to the profiler.
 
         The real system reads counters as objects are accessed; sampling a
-        bounded number per window keeps the profiler lightweight.
+        bounded number per window keeps the profiler lightweight.  With a
+        procshard store the harvesting already happened *inside* each
+        worker (same epoch-lag rule, shipped back on the batch reply);
+        here the router just drains what the workers sent.
         """
+        if self._procshard:
+            for count in self.store.take_frequency_samples():
+                self.profiler.observe_frequency(count)
+            return
         epoch = self.profiler.epoch
         harvested = 0
         for obj in self.store.heap.objects():
@@ -235,6 +290,25 @@ class DidoSystem:
                 harvested += 1
                 if harvested >= sample:
                     break
+
+    # ------------------------------------------------------------- lifecycle
+
+    def maintain(self) -> list[int]:
+        """Periodic health check: respawn dead shard workers (procshard).
+
+        Returns the respawned shard ids (always empty for in-process
+        stores).  The UDP server calls this between windows so a crashed
+        worker comes back without restarting the node; a respawned worker
+        starts empty — same durability contract as a rebooted cache node.
+        """
+        if self._procshard:
+            return self.store.ensure_workers()
+        return []
+
+    def close(self) -> None:
+        """Release process-backed resources (worker processes + arenas)."""
+        if self._procshard:
+            self.store.close()
 
     # ------------------------------------------------------------ analytical
 

@@ -39,7 +39,15 @@ from repro.engine.vector import VectorEngine
 from repro.errors import ConfigurationError
 
 #: Engines selectable by name (CLI flags, DidoSystem's ``engine=`` knob).
-ENGINE_NAMES = ("auto", "serial", "stealing", "reference", "vector", "sharded")
+ENGINE_NAMES = (
+    "auto",
+    "serial",
+    "stealing",
+    "reference",
+    "vector",
+    "sharded",
+    "procshard",
+)
 
 
 def resolve_engine(engine, *, dedup: bool = False, hot_cache: bool = True):
@@ -60,6 +68,12 @@ def resolve_engine(engine, *, dedup: bool = False, hot_cache: bool = True):
             return ShardedEngine(
                 VectorEngine(dedup=dedup, hot_cache=hot_cache), dedup=dedup
             )
+        if engine == "procshard":
+            # Imported lazily: the procshard module pulls in
+            # multiprocessing machinery nothing else needs.
+            from repro.engine.procshard import ProcShardEngine
+
+            return ProcShardEngine(dedup=dedup, hot_cache=hot_cache)
         factory = {
             "serial": SerialEngine,
             "stealing": StealingEngine,

@@ -1,0 +1,894 @@
+"""ProcShardEngine: true shared-nothing process-per-shard execution.
+
+:class:`~repro.engine.sharded.ShardedEngine` splits batches across shards
+but runs the sub-batches on a *thread* pool — under CPython's GIL the
+"parallel" backend loses to single-core vector on uniform traffic (the
+BENCH_skew 0.88x row).  This module is the DINOMO-shaped fix: each shard
+becomes a :class:`ShardWorker` **process** owning its own
+:class:`~repro.kv.store.KVStore`, hot-key cache and dedup builder, fed
+columnar sub-batches through ``multiprocessing.shared_memory`` ring
+arenas (:class:`~repro.net.arena.ShmRing`) — header columns + byte arena
+in, WR size columns + response-payload arena out, no pickling anywhere on
+the data plane.
+
+The split/merge shape is the sharded engine's, lifted across the process
+boundary:
+
+* the router (:class:`ProcShardEngine`) computes the batch's shard
+  assignment with the same seed-0 FNV hash
+  (:func:`~repro.kv.sharding.shard_of` == the vector kernel's row 0), so
+  routing is bit-identical to the in-process backends;
+* each worker runs a full inner engine (vector by default, with the
+  worker's own dedup/hot-cache state) against its private store and
+  answers with the single-pass response framer's bytes;
+* the router scatters the returned status/size/value columns back into
+  batch row order, so the merged stream is byte-identical to
+  :class:`~repro.engine.reference.ReferenceEngine` — enforced by the
+  procshard test suite and the skew-sweep benchmark.
+
+Workers piggyback their store/index counters, per-batch hot-path stats
+and a bounded frequency-harvest sample on every batch reply, so the
+router-side :class:`ProcShardStore` facade presents merged
+``stats``/``index`` views and feeds the workload profiler without extra
+round trips.  A dead worker never wedges the serve loop: its rows are
+answered with ``ERROR`` responses for that batch, the server's
+maintenance tick respawns it (empty, like a rebooted cache node), and
+every arena is unlinked on close/``atexit``/SIGTERM even when a worker
+died mid-batch.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import struct
+import traceback
+import weakref
+
+from repro.errors import ConfigurationError, ReproError
+from repro.kv.hashtable import IndexStats
+from repro.kv.protocol import QueryType, Response, ResponseStatus
+from repro.kv.sharding import shard_of
+from repro.kv.store import KVStore, StoreStats
+from repro.net.arena import (
+    DEFAULT_RING_BYTES,
+    RingClosedError,
+    ShmRing,
+    decode_query_block,
+    decode_response_block,
+    encode_query_block,
+    encode_response_block,
+)
+from repro.telemetry import get_telemetry
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+logger = logging.getLogger("repro.procshard")
+
+# --------------------------------------------------------------- wire types
+
+MSG_BATCH = 1
+MSG_POPULATE = 2
+MSG_DUMP = 3
+MSG_STATS = 4
+MSG_RESET = 5
+MSG_PING = 6
+MSG_ATTACH_CACHE = 7
+MSG_SHUTDOWN = 8
+
+MSG_OK = 64
+MSG_RESULT = 65
+MSG_ERROR = 66
+
+_U32 = struct.Struct("<I")
+_BATCH_HEAD = struct.Struct("<dqB")  # skew, epoch, gate-caches flag
+
+#: Piggybacked counters: StoreStats(6) + IndexStats(7) + store len +
+#: hot-cache hit/miss totals, as little-endian i64s.
+_STATS_FIELDS = 6 + 7 + 3
+_STATS_STRUCT = struct.Struct(f"<{_STATS_FIELDS}q")
+_RESULT_HEAD = struct.Struct("<IIQQ")  # n, freq_count, dup_count, reserved
+
+#: Worker-side frequency-harvest cap per batch (mirrors the router-side
+#: sample the in-process system takes from its own heap).
+HARVEST_SAMPLE = 512
+
+#: How long the router waits for one worker's batch reply before giving
+#: up on it (liveness failures surface much sooner via the abort probe).
+REPLY_TIMEOUT_S = 60.0
+
+_STORED = Response(ResponseStatus.STORED)
+_DELETED = Response(ResponseStatus.DELETED)
+_NOT_FOUND = Response(ResponseStatus.NOT_FOUND)
+_WORKER_DOWN = Response(ResponseStatus.ERROR)
+_BY_CODE = {
+    ResponseStatus.STORED.value: _STORED,
+    ResponseStatus.DELETED.value: _DELETED,
+    ResponseStatus.NOT_FOUND.value: _NOT_FOUND,
+}
+
+
+class WorkerDiedError(ReproError):
+    """A shard worker process exited (or hung) mid-request."""
+
+
+class WorkerFailedError(ReproError):
+    """A shard worker raised while handling a request (its traceback rides
+    along so the failure debugs like an in-process one)."""
+
+
+def _pack_stats(store: KVStore) -> bytes:
+    s = store.stats
+    ix = store.index.stats
+    cache = store.hot_cache
+    return _STATS_STRUCT.pack(
+        s.gets, s.get_hits, s.sets, s.deletes, s.delete_hits,
+        s.signature_false_positives,
+        ix.searches, ix.inserts, ix.deletes, ix.search_bucket_reads,
+        ix.insert_bucket_writes, ix.insert_kicks, ix.failed_inserts,
+        len(store),
+        cache.hits if cache is not None else 0,
+        cache.misses if cache is not None else 0,
+    )
+
+
+def _unpack_stats(buf, offset: int = 0) -> tuple:
+    return _STATS_STRUCT.unpack_from(buf, offset)
+
+
+# ------------------------------------------------------------- worker child
+
+
+class _WorkerState:
+    """Everything one shard worker owns: store, cache, engine, plan."""
+
+    def __init__(self, config: dict):
+        self.config = config
+        self.store = KVStore(config["memory_bytes"], config["expected_objects"])
+        if config.get("hot_cache"):
+            cache = self.store.attach_hot_cache(config.get("hot_cache_keys"))
+            cache.active = bool(config.get("hot_cache_active", True))
+        # Workers import the engine registry lazily so this module never
+        # drags the pipeline package in at import time.
+        from repro.engine import resolve_engine
+
+        self.engine = resolve_engine(
+            config.get("inner", "vector"), dedup=bool(config.get("dedup"))
+        )
+        from repro.engine.plan import compile_stage_plan
+        from repro.pipeline.megakv import megakv_coupled_config
+
+        # Batch results are configuration-invariant (the equivalence suite's
+        # core claim), so workers execute one canonical compiled plan.
+        self.plan = compile_stage_plan(megakv_coupled_config())
+
+
+def _harvest_frequencies(store: KVStore, epoch: int, sample: int) -> list[int]:
+    """Worker-side mirror of the system's profiler frequency harvest."""
+    counts: list[int] = []
+    target = epoch - 1
+    for obj in store.heap.objects():
+        if obj.sample_epoch == target and obj.access_count > 0:
+            counts.append(obj.access_count)
+            if len(counts) >= sample:
+                break
+    return counts
+
+
+def _handle_batch(state: _WorkerState, payload) -> list:
+    from repro.engine.plane import BatchPlane
+
+    skew, epoch, gate = _BATCH_HEAD.unpack_from(payload, 0)
+    cache = state.store.hot_cache
+    freq: list[int] = []
+    if cache is not None and gate:
+        cache.gate_on_skew(skew)
+        freq.extend(cache.drain_window_hits())
+    if gate:
+        freq.extend(
+            _harvest_frequencies(state.store, epoch, HARVEST_SAMPLE - len(freq))
+        )
+    columns = decode_query_block(payload, _BATCH_HEAD.size)
+    plane = BatchPlane(columns)
+    state.engine.run(state.store, state.plan, plane, epoch=epoch)
+    responses = plane.take_responses()
+    statuses = plane.response_statuses
+    sizes = plane.response_sizes
+    if statuses is None:
+        statuses = [r.status.value for r in responses]
+    if sizes is None:
+        sizes = [r.wire_size for r in responses]
+    hotpath = plane.hotpath
+    dup_count = hotpath.dup_count if hotpath is not None else 0
+    head = _RESULT_HEAD.pack(plane.size, len(freq), dup_count, 0)
+    if np is not None:
+        freq_b = np.fromiter(freq, dtype=np.uint32, count=len(freq)).tobytes()
+    else:
+        freq_b = struct.pack(f"<{len(freq)}I", *freq)
+    block = encode_response_block(statuses, plane.read_values, sizes)
+    return [bytes([MSG_RESULT]), head, freq_b, _pack_stats(state.store), *block]
+
+
+def _handle_dump(state: _WorkerState) -> list:
+    keys = [obj.key for obj in state.store.heap.objects()]
+    n = len(keys)
+    if np is not None:
+        lens = np.fromiter(map(len, keys), dtype=np.uint32, count=n).tobytes()
+    else:
+        lens = struct.pack(f"<{n}I", *map(len, keys))
+    return [bytes([MSG_OK]), _U32.pack(n), lens, b"".join(keys)]
+
+
+def _worker_main(in_name: str, out_name: str, config: dict) -> None:
+    """Child entry point: serve ring messages until shutdown/orphaned."""
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    parent = os.getppid()
+    inbound = ShmRing.attach(in_name)
+    outbound = ShmRing.attach(out_name)
+    state = _WorkerState(config)
+    orphaned = lambda: os.getppid() != parent  # noqa: E731
+
+    try:
+        while True:
+            try:
+                msg = inbound.recv(timeout=0.2, abort=orphaned)
+            except RingClosedError:
+                break
+            if msg is None:
+                continue
+            mtype = msg[0]
+            if mtype == MSG_SHUTDOWN:
+                try:
+                    outbound.send(bytes([MSG_OK]), timeout=1.0)
+                except RingClosedError:  # pragma: no cover - parent gone
+                    pass
+                break
+            payload = memoryview(msg)[1:]
+            try:
+                if mtype == MSG_BATCH:
+                    reply = _handle_batch(state, payload)
+                elif mtype == MSG_POPULATE:
+                    columns = decode_query_block(payload)
+                    stored = state.store.bulk_set_columns(
+                        columns.keys, columns.values
+                    )
+                    reply = [bytes([MSG_OK]), _U32.pack(stored)]
+                elif mtype == MSG_DUMP:
+                    reply = _handle_dump(state)
+                elif mtype == MSG_STATS:
+                    reply = [bytes([MSG_OK]), _pack_stats(state.store)]
+                elif mtype == MSG_RESET:
+                    state = _WorkerState(state.config)
+                    reply = [bytes([MSG_OK])]
+                elif mtype == MSG_ATTACH_CACHE:
+                    capacity, active = struct.unpack_from("<QB", payload, 0)
+                    cache = state.store.attach_hot_cache(capacity or None)
+                    cache.active = bool(active)
+                    reply = [bytes([MSG_OK])]
+                elif mtype == MSG_PING:
+                    reply = [bytes([MSG_OK])]
+                else:
+                    raise ConfigurationError(f"unknown message type {mtype}")
+            except Exception:
+                reply = [bytes([MSG_ERROR]), traceback.format_exc().encode()]
+            outbound.send(*reply, abort=orphaned)
+    finally:
+        inbound.close()
+        outbound.close()
+
+
+# ------------------------------------------------------------ parent handle
+
+
+class ShardWorker:
+    """Router-side handle on one shard worker process and its two rings."""
+
+    def __init__(self, shard_id: int, config: dict, ctx, ring_bytes: int):
+        self.shard_id = shard_id
+        self.config = config
+        self._ctx = ctx
+        self._ring_bytes = ring_bytes
+        self.generation = 0
+        self.process = None
+        self.to_worker: ShmRing | None = None
+        self.from_worker: ShmRing | None = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        self.to_worker = ShmRing.create(self._ring_bytes)
+        self.from_worker = ShmRing.create(self._ring_bytes)
+        self.process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.to_worker.name, self.from_worker.name, self.config),
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}",
+        )
+        self.process.start()
+        self.generation += 1
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def _dead(self) -> bool:
+        return not self.alive()
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        ring = self.to_worker
+        return ring.pending_bytes if ring is not None else 0
+
+    def send(self, *parts) -> None:
+        try:
+            self.to_worker.send(*parts, abort=self._dead, timeout=REPLY_TIMEOUT_S)
+        except RingClosedError as exc:
+            raise WorkerDiedError(
+                f"shard worker {self.shard_id} unavailable: {exc}"
+            ) from exc
+
+    def recv_reply(self, timeout: float = REPLY_TIMEOUT_S):
+        try:
+            msg = self.from_worker.recv(timeout=timeout, abort=self._dead)
+        except RingClosedError as exc:
+            raise WorkerDiedError(
+                f"shard worker {self.shard_id} died mid-request: {exc}"
+            ) from exc
+        if msg is None:
+            raise WorkerDiedError(
+                f"shard worker {self.shard_id} reply timed out after {timeout}s"
+            )
+        if msg[0] == MSG_ERROR:
+            raise WorkerFailedError(
+                f"shard worker {self.shard_id} failed:\n"
+                + bytes(msg[1:]).decode(errors="replace")
+            )
+        return memoryview(msg)[1:]
+
+    def request(self, *parts):
+        self.send(*parts)
+        return self.recv_reply()
+
+    def respawn(self) -> None:
+        """Replace a dead (or wedged) worker with a fresh, empty one."""
+        self.terminate()
+        self.spawn()
+
+    def terminate(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():  # pragma: no cover - stuck child
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        self.process = None
+        for ring in (self.to_worker, self.from_worker):
+            if ring is not None:
+                ring.close()
+        self.to_worker = None
+        self.from_worker = None
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Graceful stop: drain, ack, join; falls back to terminate."""
+        if self.process is not None and self.process.is_alive():
+            try:
+                self.to_worker.send(
+                    bytes([MSG_SHUTDOWN]), abort=self._dead, timeout=timeout
+                )
+                self.from_worker.recv(timeout=timeout, abort=self._dead)
+            except RingClosedError:
+                pass
+            self.process.join(timeout=timeout)
+        self.terminate()
+
+
+# ------------------------------------------------------------- store facade
+
+
+class _ProcIndexView:
+    """Merged ``store.index`` stand-in built from piggybacked counters."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "ProcShardStore"):
+        self._store = store
+
+    @property
+    def stats(self) -> IndexStats:
+        merged = IndexStats()
+        for row in self._store._stats_rows():
+            merged.searches += row[6]
+            merged.inserts += row[7]
+            merged.deletes += row[8]
+            merged.search_bucket_reads += row[9]
+            merged.insert_bucket_writes += row[10]
+            merged.insert_kicks += row[11]
+            merged.failed_inserts += row[12]
+        return merged
+
+    @property
+    def num_hashes(self) -> int:
+        return 2
+
+    def __len__(self) -> int:
+        return sum(row[13] for row in self._store._stats_rows())
+
+
+class _DumpedKey:
+    """A key-only heap object snapshot (what cluster migration scans)."""
+
+    __slots__ = ("key",)
+    access_count = 0
+    sample_epoch = -1
+
+    def __init__(self, key: bytes):
+        self.key = key
+
+
+class _ProcHeapView:
+    """Merged ``store.heap`` stand-in: key dumps on demand."""
+
+    __slots__ = ("_store", "budget_bytes")
+
+    def __init__(self, store: "ProcShardStore", budget_bytes: int):
+        self._store = store
+        self.budget_bytes = budget_bytes
+
+    def objects(self) -> list[_DumpedKey]:
+        out: list[_DumpedKey] = []
+        for worker in self._store.workers:
+            reply = worker.request(bytes([MSG_DUMP]))
+            (n,) = _U32.unpack_from(reply, 0)
+            lens = struct.unpack_from(f"<{n}I", reply, 4)
+            at = 4 + 4 * n
+            for length in lens:
+                out.append(_DumpedKey(bytes(reply[at : at + length])))
+                at += length
+        return out
+
+
+class ProcShardStore:
+    """N shard-worker processes behind one store facade.
+
+    The router-side counterpart of
+    :class:`~repro.kv.sharding.ShardedKVStore`: the same even split of the
+    memory/index budget, the same seed-0 FNV routing — but every shard is
+    a separate process and the facade talks to it over shared-memory
+    rings.  Scalar ``get``/``set``/``delete`` ride the batch plane as
+    one-row windows (the control path — migration, tests); the engine
+    fan-out is the hot path.
+
+    Every arena is unlinked on :meth:`close`, which is also registered
+    with ``atexit`` so segments cannot outlive the router even on an
+    unclean exit; a SIGKILLed worker leaves no orphan either, because the
+    router owns (and unlinks) both of its rings.
+    """
+
+    is_procshard = True
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        expected_objects: int,
+        num_shards: int = 1,
+        *,
+        dedup: bool = False,
+        hot_cache: bool = False,
+        hot_cache_keys: int | None = None,
+        hot_cache_active: bool = True,
+        inner: str = "vector",
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        start_method: str | None = None,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        import multiprocessing as mp
+
+        if start_method is None:
+            start_method = os.environ.get("REPRO_PROCSHARD_START")
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
+        self.num_shards = num_shards
+        from repro.kv.slab import SlabAllocator
+
+        shard_budget = max(memory_bytes // num_shards, SlabAllocator.PAGE_BYTES)
+        per_cache = None
+        if hot_cache_keys is not None:
+            per_cache = max(64, hot_cache_keys // num_shards)
+        config = {
+            "memory_bytes": shard_budget,
+            "expected_objects": max(64, expected_objects // num_shards),
+            "dedup": dedup,
+            "hot_cache": hot_cache,
+            "hot_cache_keys": per_cache,
+            "hot_cache_active": hot_cache_active,
+            "inner": inner,
+        }
+        self.dedup = dedup
+        self.workers = [
+            ShardWorker(i, config, ctx, ring_bytes) for i in range(num_shards)
+        ]
+        self.hot_cache = None  # engines never probe caches router-side
+        self.current_skew = 0.0
+        self._gate_caches = False
+        self._stats_cache: list[tuple] = [
+            (0,) * _STATS_FIELDS for _ in range(num_shards)
+        ]
+        self._freq_pending: list[int] = []
+        self._closed = False
+        self._index_view = _ProcIndexView(self)
+        self._heap_view = _ProcHeapView(self, shard_budget * num_shards)
+        self.respawns = 0
+        # atexit must not keep the store alive; close through a weakref.
+        ref = weakref.ref(self)
+        def _cleanup(ref=ref):
+            store = ref()
+            if store is not None:
+                store.close()
+        self._atexit_hook = _cleanup
+        atexit.register(_cleanup)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Stop every worker and unlink every shared-memory arena."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.shutdown()
+            except Exception:  # pragma: no cover - teardown best-effort
+                worker.terminate()
+        atexit.unregister(self._atexit_hook)
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def ensure_workers(self) -> list[int]:
+        """Respawn any dead worker (fresh and empty); returns their ids."""
+        if self._closed:
+            return []
+        respawned = []
+        for worker in self.workers:
+            if not worker.alive():
+                logger.warning(
+                    "shard worker %d died; respawning empty", worker.shard_id
+                )
+                worker.respawn()
+                self._stats_cache[worker.shard_id] = (0,) * _STATS_FIELDS
+                respawned.append(worker.shard_id)
+        if respawned:
+            self.respawns += len(respawned)
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.registry.counter(
+                    "repro_procshard_respawns_total",
+                    help="Dead shard workers replaced by the router",
+                ).inc(len(respawned))
+        return respawned
+
+    def reset(self) -> None:
+        """Rebuild every worker's store fresh (tests; keeps processes)."""
+        for worker in self.workers:
+            worker.request(bytes([MSG_RESET]))
+        self._stats_cache = [(0,) * _STATS_FIELDS for _ in range(self.num_shards)]
+        self._freq_pending.clear()
+
+    # ------------------------------------------------------- profiler feeds
+
+    def note_skew(self, skew: float) -> None:
+        """Record the profiler's skew estimate; batches gate worker caches
+        with it from now on (the system's per-window hysteresis)."""
+        self.current_skew = skew
+        self._gate_caches = True
+
+    def take_frequency_samples(self) -> list[int]:
+        """Drain worker-harvested access counts for the profiler."""
+        out, self._freq_pending = self._freq_pending, []
+        return out
+
+    def hot_cache_totals(self) -> tuple[int, int]:
+        """Aggregated (hits, misses) across worker caches, from the last
+        piggybacked counters."""
+        rows = self._stats_cache
+        return sum(r[14] for r in rows), sum(r[15] for r in rows)
+
+    def _note_stats(self, shard: int, row: tuple) -> None:
+        self._stats_cache[shard] = row
+
+    def _stats_rows(self) -> list[tuple]:
+        return self._stats_cache
+
+    def refresh_stats(self) -> None:
+        """Round-trip every worker for fresh counters (facade reads)."""
+        for worker in self.workers:
+            reply = worker.request(bytes([MSG_STATS]))
+            self._note_stats(worker.shard_id, _unpack_stats(reply))
+
+    # --------------------------------------------------------- merged views
+
+    @property
+    def stats(self) -> StoreStats:
+        self.refresh_stats()
+        merged = StoreStats()
+        for row in self._stats_cache:
+            merged.gets += row[0]
+            merged.get_hits += row[1]
+            merged.sets += row[2]
+            merged.deletes += row[3]
+            merged.delete_hits += row[4]
+            merged.signature_false_positives += row[5]
+        return merged
+
+    @property
+    def index(self) -> _ProcIndexView:
+        return self._index_view
+
+    @property
+    def heap(self) -> _ProcHeapView:
+        return self._heap_view
+
+    def __len__(self) -> int:
+        self.refresh_stats()
+        return sum(row[13] for row in self._stats_cache)
+
+    # -------------------------------------------------------------- routing
+
+    def shard_for(self, key: bytes) -> int:
+        return shard_of(key, self.num_shards)
+
+    def _scalar(self, qtype: QueryType, key: bytes, value: bytes):
+        worker = self.workers[self.shard_for(key)]
+        head = _BATCH_HEAD.pack(self.current_skew, 0, 0)
+        block = encode_query_block([qtype], [key], [value])
+        reply = worker.request(bytes([MSG_BATCH]), head, *block)
+        parsed = _RESULT_HEAD.unpack_from(reply, 0)
+        offset = _RESULT_HEAD.size + 4 * parsed[1] + _STATS_STRUCT.size
+        self._note_stats(
+            worker.shard_id,
+            _unpack_stats(reply, _RESULT_HEAD.size + 4 * parsed[1]),
+        )
+        statuses, values, _sizes = decode_response_block(reply, offset)
+        return statuses[0], values[0]
+
+    def get(self, key: bytes, *, epoch: int = 0) -> bytes | None:
+        status, value = self._scalar(QueryType.GET, key, b"")
+        return value if status == ResponseStatus.OK.value else None
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Route one SET; returns ``None`` (the worker's SetOutcome stays
+        in its process — callers needing displacement detail run in the
+        worker, not through the facade)."""
+        self._scalar(QueryType.SET, key, value)
+
+    def delete(self, key: bytes) -> bool:
+        status, _ = self._scalar(QueryType.DELETE, key, b"")
+        return status == ResponseStatus.DELETED.value
+
+    def populate(self, items: list[tuple[bytes, bytes]]) -> int:
+        """Bulk-load via per-worker columnar SET blocks."""
+        by_shard: list[tuple[list[bytes], list[bytes]]] = [
+            ([], []) for _ in range(self.num_shards)
+        ]
+        for key, value in items:
+            keys, values = by_shard[self.shard_for(key)]
+            keys.append(key)
+            values.append(value)
+        stored = 0
+        set_type = QueryType.SET
+        for worker, (keys, values) in zip(self.workers, by_shard):
+            if not keys:
+                continue
+            block = encode_query_block([set_type] * len(keys), keys, values)
+            reply = worker.request(bytes([MSG_POPULATE]), *block)
+            stored += _U32.unpack_from(reply, 0)[0]
+        return stored
+
+    def attach_hot_cache(self, capacity: int | None = None) -> list:
+        """Attach a hot-key cache inside every worker (evenly divided,
+        active — mirroring :meth:`ShardedKVStore.attach_hot_cache`).
+        Returns ``[]``: the caches live in the workers and are reached
+        through batch piggybacks, not direct references."""
+        per_shard = None
+        if capacity is not None:
+            per_shard = max(64, capacity // self.num_shards)
+        payload = struct.pack("<QB", per_shard or 0, 1)
+        for worker in self.workers:
+            worker.request(bytes([MSG_ATTACH_CACHE]), payload)
+        return []
+
+
+# ------------------------------------------------------------------- engine
+
+
+class ProcShardEngine:
+    """Router-side engine: split by shard hash, fan out over rings, merge.
+
+    Runs against a :class:`ProcShardStore`; on any other store it
+    degrades to an in-process :class:`~repro.engine.vector.VectorEngine`
+    so the backend stays safe to pin unconditionally.  A worker that dies
+    mid-batch answers its rows with ``ERROR`` responses instead of
+    killing the serve loop; the maintenance tick respawns it.
+    """
+
+    name = "procshard"
+
+    def __init__(self, *, dedup: bool = False, hot_cache: bool = True):
+        # Dedup/caching happen inside the workers (each owns its own
+        # builder and cache); the flags exist for resolve_engine symmetry
+        # and configure the in-process fallback only.
+        self._fallback = None
+        self._fallback_flags = (dedup, hot_cache)
+
+    def close(self) -> None:
+        """Engine holds no processes (the store owns workers); no-op."""
+
+    def _assign(self, keys: list[bytes], num_shards: int) -> list[int]:
+        if np is not None:
+            from repro.engine.vector import fnv_hash_columns
+
+            states = fnv_hash_columns(keys, 1)
+            return (states[0] % np.uint64(num_shards)).astype(np.intp).tolist()
+        return [shard_of(key, num_shards) for key in keys]
+
+    def run(
+        self,
+        store,
+        plan,
+        plane,
+        *,
+        epoch: int = 0,
+        task_times=None,
+    ) -> dict[str, int]:
+        if not isinstance(store, ProcShardStore):
+            if self._fallback is None:
+                from repro.engine.vector import VectorEngine
+
+                dedup, hot_cache = self._fallback_flags
+                self._fallback = VectorEngine(dedup=dedup, hot_cache=hot_cache)
+            return self._fallback.run(
+                store, plan, plane, epoch=epoch, task_times=task_times
+            )
+
+        num_shards = store.num_shards
+        keys = plane.keys
+        if num_shards == 1:
+            shard_rows: list[list[int] | None] = [None]
+        else:
+            assignment = self._assign(keys, num_shards)
+            rows: list[list[int]] = [[] for _ in range(num_shards)]
+            for row, shard in enumerate(assignment):
+                rows[shard].append(row)
+            shard_rows = rows
+
+        head = _BATCH_HEAD.pack(
+            store.current_skew, epoch, 1 if store._gate_caches else 0
+        )
+        qtypes, set_values = plane.qtypes, plane.set_values
+        statuses_col: list[int] = [0] * plane.size
+        sizes_col: list[int] = [0] * plane.size
+        sent: list[tuple[int, list[int] | None]] = []
+        depth = 0
+        for shard, rows in enumerate(shard_rows):
+            if rows is not None and not rows:
+                continue
+            worker = store.workers[shard]
+            block = encode_query_block(qtypes, keys, set_values, rows)
+            try:
+                worker.send(bytes([MSG_BATCH]), head, *block)
+            except WorkerDiedError:
+                self._fill_down(plane, rows, statuses_col, sizes_col)
+                continue
+            depth = max(depth, worker.queue_depth_bytes)
+            sent.append((shard, rows))
+
+        responses = plane.responses
+        read_values = plane.read_values
+        dup_count = 0
+        cache_hits = cache_misses = 0
+        for shard, rows in sent:
+            worker = store.workers[shard]
+            try:
+                reply = worker.recv_reply()
+            except WorkerDiedError:
+                self._fill_down(plane, rows, statuses_col, sizes_col)
+                continue
+            n, freq_count, dups, _ = _RESULT_HEAD.unpack_from(reply, 0)
+            at = _RESULT_HEAD.size
+            if freq_count:
+                store._freq_pending.extend(
+                    struct.unpack_from(f"<{freq_count}I", reply, at)
+                )
+            at += 4 * freq_count
+            prev = store._stats_cache[shard]
+            row_stats = _unpack_stats(reply, at)
+            store._note_stats(shard, row_stats)
+            cache_hits += row_stats[14] - prev[14]
+            cache_misses += row_stats[15] - prev[15]
+            at += _STATS_STRUCT.size
+            dup_count += dups
+            statuses, values, sizes = decode_response_block(reply, at)
+            if rows is None:
+                rows_iter = range(n)
+            else:
+                rows_iter = rows
+            ok = ResponseStatus.OK
+            for local, row in enumerate(rows_iter):
+                code = statuses[local]
+                value = values[local]
+                statuses_col[row] = code
+                sizes_col[row] = sizes[local]
+                if code == 0:
+                    responses[row] = Response(ok, value)
+                    read_values[row] = value
+                else:
+                    responses[row] = _BY_CODE.get(
+                        code, Response(ResponseStatus(code))
+                    )
+
+        plane.response_statuses = statuses_col
+        plane.response_sizes = sizes_col
+        if dup_count or cache_hits or cache_misses:
+            from repro.engine.hotpath import HotPathState
+
+            hotpath = HotPathState()
+            hotpath.finished = True
+            hotpath.dup_count = dup_count
+            hotpath.cache_hits = cache_hits
+            hotpath.cache_misses = cache_misses
+            plane.hotpath = hotpath
+
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            sizes_rows = [
+                plane.size if rows is None else len(rows) for rows in shard_rows
+            ]
+            largest = max(sizes_rows) if sizes_rows else 0
+            ideal = plane.size / num_shards if num_shards else 0
+            telemetry.registry.gauge(
+                "repro_shard_imbalance",
+                help="Largest shard sub-batch over the ideal even split",
+            ).set(largest / ideal if ideal else 0.0)
+            telemetry.registry.gauge(
+                "repro_procshard_queue_depth_bytes",
+                help="Deepest worker inbound-ring backlog at batch dispatch",
+            ).set(depth)
+        return {}
+
+    @staticmethod
+    def _fill_down(plane, rows, statuses_col, sizes_col) -> None:
+        """Answer a dead worker's rows with ERROR (serve loop survives)."""
+        rows_iter = range(plane.size) if rows is None else rows
+        code = ResponseStatus.ERROR.value
+        wire = _WORKER_DOWN.wire_size
+        responses = plane.responses
+        read_values = plane.read_values
+        for row in rows_iter:
+            responses[row] = _WORKER_DOWN
+            read_values[row] = None
+            statuses_col[row] = code
+            sizes_col[row] = wire
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.counter(
+                "repro_procshard_worker_errors_total",
+                help="Rows answered ERROR because their shard worker died",
+            ).inc(len(rows_iter))
+
+
+__all__ = [
+    "ProcShardEngine",
+    "ProcShardStore",
+    "ShardWorker",
+    "WorkerDiedError",
+    "WorkerFailedError",
+]

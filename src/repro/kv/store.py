@@ -344,6 +344,45 @@ class KVStore:
         self.stats.delete_hits += 1
         return True
 
+    # ------------------------------------------------------- bulk entry points
+    # Arena-backed bulk operations: one call applies a whole decoded
+    # column block (the procshard workers' populate/import path and the
+    # cluster's columnar bulk-SET windows land here).
+
+    def bulk_set_columns(self, keys: list[bytes], values: list[bytes]) -> int:
+        """Apply a columnar SET block in order; returns items stored.
+
+        Semantics match :meth:`populate` (sequential full SETs, stopping
+        when the index is saturated) over parallel key/value columns —
+        typically sliced straight out of a shared-memory arena block
+        (:func:`repro.net.arena.decode_query_block`).
+        """
+        stored = 0
+        for key, value in zip(keys, values):
+            try:
+                self.set(key, value)
+            except CapacityError:
+                break
+            stored += 1
+        return stored
+
+    def bulk_get_columns(
+        self, keys: list[bytes], *, epoch: int = 0
+    ) -> list[bytes | None]:
+        """Bulk GET over a key column: Search -> KC -> RD as three passes.
+
+        The columnar counterpart of :meth:`get` (stats counted the same
+        way), used by arena-fed readers that already hold a key column
+        and want one store round instead of a per-key call chain.
+        """
+        n = len(keys)
+        self.stats.gets += n
+        candidates = self.multi_index_search(keys)
+        locations = self.multi_key_compare(keys, candidates)
+        values = self.multi_read_value(locations, epoch=epoch)
+        self.stats.get_hits += sum(1 for v in values if v is not None)
+        return values
+
     # -------------------------------------------------------------- warm-up
 
     def populate(self, items: list[tuple[bytes, bytes]]) -> int:

@@ -1,0 +1,435 @@
+"""Shared-memory ring arenas and columnar block codecs for the
+process-per-shard data plane.
+
+The procshard backend (:mod:`repro.engine.procshard`) moves each batch's
+shard sub-batches between the router process and its shard workers through
+``multiprocessing.shared_memory`` segments instead of pickled queues — the
+same "columns + byte arena" shapes the zero-copy wire plane uses
+(:mod:`repro.net.wire`), so nothing on the data plane ever pickles a
+query or a response.  Three pieces live here:
+
+* :class:`ShmRing` — a single-producer/single-consumer byte ring over one
+  shared-memory segment.  Messages are length-prefixed and stream through
+  the ring in chunks, so a message larger than the ring's capacity still
+  passes (the reader consumes while the writer produces); both sides
+  spin-then-sleep and can watch an ``abort`` predicate so a dead peer
+  turns into an exception instead of a hang.
+* :func:`encode_query_block` / :func:`decode_query_block` — one shard
+  sub-batch as header columns plus a byte arena: ``opcode`` u8 column,
+  ``key_len``/``value_len`` u32 columns, then every key and every value
+  back to back.  Decoding reproduces the
+  :class:`~repro.net.wire.QueryColumns` shape (NumPy length columns
+  attached when available) so the worker's
+  :class:`~repro.engine.plane.BatchPlane` keeps its mask fast paths.
+* :func:`encode_response_block` / :func:`decode_response_block` — one
+  sub-batch's responses as a WR size column followed by the exact byte
+  stream :func:`~repro.net.wire.encode_response_window` produces (status
+  byte + value-length header + payload per row) — the framer is *reused*,
+  not reimplemented, so worker response bytes are the same bytes the
+  server would put on the wire.
+
+Memory-ordering note: the ring's head/tail counters are aligned 8-byte
+words written with single ``pack_into`` stores; CPython's interpreter
+overhead plus x86-TSO store ordering make the publish-after-copy
+discipline safe in practice.  This is a data-plane for CPython processes
+on one host, not a general lock-free library.
+"""
+
+from __future__ import annotations
+
+import secrets
+import struct
+import time
+from multiprocessing import shared_memory
+
+from repro.errors import ReproError
+from repro.kv.protocol import QueryType
+from repro.net.wire import QueryColumns, RESPONSE_HEADER_BYTES, encode_response_window
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Opcode -> QueryType, indexable by raw opcode (mirrors the wire table).
+_QTYPE_BY_OP = (None, QueryType.GET, QueryType.SET, QueryType.DELETE)
+
+#: Ring header: write counter (u64 @0), read counter (u64 @16, separate
+#: cache line would be nicer but 16 keeps the header compact), closed
+#: flag (u8 @32).  Data starts at 64.
+_RING_HEADER = 64
+_WRITE_OFF = 0
+_READ_OFF = 16
+_CLOSED_OFF = 32
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+#: Default per-direction ring capacity.
+DEFAULT_RING_BYTES = 1 << 20
+
+_EMPTY = b""
+
+
+class RingClosedError(ReproError):
+    """The peer closed the ring (or its process died) mid-transfer."""
+
+
+class ShmRing:
+    """A length-prefixed SPSC byte ring over one shared-memory segment.
+
+    One side calls :meth:`send`, the other :meth:`recv`; each ring is
+    unidirectional.  The creating side owns the segment (it unlinks);
+    attached sides only close.  Counters are monotonically increasing
+    byte offsets — ``write - read`` is the queue depth in bytes.
+    """
+
+    __slots__ = ("shm", "capacity", "_buf", "_owner")
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self.shm = shm
+        self.capacity = shm.size - _RING_HEADER
+        self._buf = shm.buf
+        self._owner = owner
+
+    # ----------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES, name: str | None = None):
+        if name is None:
+            name = f"repro-ring-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=_RING_HEADER + capacity
+        )
+        shm.buf[:_RING_HEADER] = b"\x00" * _RING_HEADER
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str):
+        # CPython registers *attached* segments with the resource tracker
+        # too (bpo-39959), so a spawned worker's own tracker would unlink
+        # the router's arena when the worker exits.  Suppress registration
+        # for the duration of the attach (3.13's ``track=False``,
+        # backported by patching): the router owns the segment and is the
+        # only unlinker.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _no_track(name, rtype):  # pragma: no cover - trivial shim
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _no_track
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> None:
+        """Mark the ring closed and detach (unlink too when owner)."""
+        try:
+            self._buf[_CLOSED_OFF] = 1
+        except (ValueError, TypeError):  # pragma: no cover - already detached
+            pass
+        self._buf = None
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - peer unlinked
+                pass
+            self._owner = False
+
+    # ------------------------------------------------------------ counters
+
+    def _read_counter(self, off: int) -> int:
+        return _U64.unpack_from(self._buf, off)[0]
+
+    def _write_counter(self, off: int, value: int) -> None:
+        _U64.pack_into(self._buf, off, value)
+
+    @property
+    def closed(self) -> bool:
+        buf = self._buf
+        return buf is None or buf[_CLOSED_OFF] != 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes written but not yet consumed (the queue depth)."""
+        if self._buf is None:
+            return 0
+        return self._read_counter(_WRITE_OFF) - self._read_counter(_READ_OFF)
+
+    # ---------------------------------------------------------------- wait
+
+    @staticmethod
+    def _pause(spins: int) -> None:
+        # Spin-yield briefly for sub-100us handoffs, then sleep — and keep
+        # escalating to 1 ms so a long-idle peer (a shard worker between
+        # batches) costs ~1k wakeups/s, not 10k.  Busy rings reset spins on
+        # every chunk, so the backoff never touches in-flight transfers.
+        if spins < 200:
+            time.sleep(0)
+        elif spins < 2_000:
+            time.sleep(0.0001)
+        else:
+            time.sleep(0.001)
+
+    def _check(self, abort, deadline: float | None) -> None:
+        if self.closed:
+            raise RingClosedError("ring closed by peer")
+        if abort is not None and abort():
+            raise RingClosedError("ring peer died")
+        if deadline is not None and time.monotonic() > deadline:
+            raise RingClosedError("ring transfer timed out")
+
+    # ---------------------------------------------------------------- send
+
+    def send(self, *parts, timeout: float | None = None, abort=None) -> None:
+        """Write one message (the concatenation of ``parts``) to the ring.
+
+        Streams through the ring in chunks, so the message may exceed the
+        ring capacity; blocks while the ring is full, raising
+        :class:`RingClosedError` on close/abort/timeout.
+        """
+        total = sum(len(p) for p in parts)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        self._write_chunked(_U32.pack(total), abort, deadline)
+        for part in parts:
+            if len(part):
+                self._write_chunked(part, abort, deadline)
+
+    def _write_chunked(self, data, abort, deadline) -> None:
+        buf = self._buf
+        cap = self.capacity
+        mv = memoryview(data)
+        if hasattr(mv, "cast") and mv.format != "B":
+            mv = mv.cast("B")
+        pos = 0
+        n = len(mv)
+        spins = 0
+        write = self._read_counter(_WRITE_OFF)
+        while pos < n:
+            free = cap - (write - self._read_counter(_READ_OFF))
+            if free <= 0:
+                self._check(abort, deadline)
+                self._pause(spins)
+                spins += 1
+                continue
+            spins = 0
+            at = write % cap
+            chunk = min(free, n - pos, cap - at)
+            buf[_RING_HEADER + at : _RING_HEADER + at + chunk] = mv[pos : pos + chunk]
+            pos += chunk
+            write += chunk
+            self._write_counter(_WRITE_OFF, write)
+
+    # ---------------------------------------------------------------- recv
+
+    def recv(self, timeout: float | None = None, abort=None) -> bytes | None:
+        """Read one message; ``None`` if no message started before timeout.
+
+        Once a length prefix has been read the body read does not time
+        out on its own (the writer is mid-message); abort/close still
+        interrupt it.
+        """
+        header = self._read_exact(4, timeout, abort, allow_timeout=True)
+        if header is None:
+            return None
+        (length,) = _U32.unpack(header)
+        if length == 0:
+            return _EMPTY
+        body = self._read_exact(length, None, abort, allow_timeout=False)
+        return bytes(body)
+
+    def _read_exact(self, n: int, timeout, abort, allow_timeout: bool):
+        buf = self._buf
+        cap = self.capacity
+        out = bytearray(n)
+        pos = 0
+        spins = 0
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        read = self._read_counter(_READ_OFF)
+        while pos < n:
+            avail = self._read_counter(_WRITE_OFF) - read
+            if avail <= 0:
+                if allow_timeout and pos == 0 and deadline is not None:
+                    if time.monotonic() > deadline:
+                        return None
+                    if self.closed or (abort is not None and abort()):
+                        raise RingClosedError("ring closed by peer")
+                else:
+                    self._check(abort, deadline if pos == 0 else None)
+                self._pause(spins)
+                spins += 1
+                continue
+            spins = 0
+            at = read % cap
+            chunk = min(avail, n - pos, cap - at)
+            out[pos : pos + chunk] = buf[_RING_HEADER + at : _RING_HEADER + at + chunk]
+            pos += chunk
+            read += chunk
+            self._write_counter(_READ_OFF, read)
+        return out
+
+
+# --------------------------------------------------------------- query block
+
+
+def encode_query_block(qtypes, keys, values, rows=None) -> list:
+    """One shard sub-batch as columns + arena; returns buffer parts.
+
+    ``qtypes``/``keys``/``values`` are whole-batch columns (the plane's);
+    ``rows`` selects the sub-batch (``None`` = all rows).  Layout::
+
+        u32 n | u8 opcode[n] | u32 key_len[n] | u32 value_len[n]
+              | keys arena | values arena
+
+    Returned as a list of buffer parts suitable for ``ShmRing.send`` —
+    the arena is never copied into one intermediate message buffer.
+    """
+    if rows is None:
+        sub_keys = keys if isinstance(keys, list) else list(keys)
+        sub_values = values if isinstance(values, list) else list(values)
+        ops = bytes(q.value for q in qtypes)
+    else:
+        sub_keys = [keys[i] for i in rows]
+        sub_values = [values[i] for i in rows]
+        ops = bytes(qtypes[i].value for i in rows)
+    n = len(sub_keys)
+    if np is not None:
+        klens = np.fromiter(map(len, sub_keys), dtype=np.uint32, count=n).tobytes()
+        vlens = np.fromiter(map(len, sub_values), dtype=np.uint32, count=n).tobytes()
+    else:
+        klens = struct.pack(f"<{n}I", *map(len, sub_keys))
+        vlens = struct.pack(f"<{n}I", *map(len, sub_values))
+    return [
+        _U32.pack(n),
+        ops,
+        klens,
+        vlens,
+        b"".join(sub_keys),
+        b"".join(sub_values),
+    ]
+
+
+def decode_query_block(buf, offset: int = 0) -> QueryColumns:
+    """Decode one query block into :class:`~repro.net.wire.QueryColumns`.
+
+    Key/value bytes are copied out of the arena (the store keeps keys far
+    beyond the message's lifetime); the opcode/length columns are attached
+    as NumPy arrays when available so the plane's mask subsets stay
+    vectorized.
+    """
+    (n,) = _U32.unpack_from(buf, offset)
+    ops_off = offset + 4
+    klen_off = ops_off + n
+    vlen_off = klen_off + 4 * n
+    arena_off = vlen_off + 4 * n
+    mv = memoryview(buf)
+    ops = mv[ops_off:klen_off]
+    if np is not None:
+        klens = np.frombuffer(buf, dtype="<u4", count=n, offset=klen_off)
+        vlens = np.frombuffer(buf, dtype="<u4", count=n, offset=vlen_off)
+        klens_l = klens.tolist()
+        vlens_l = vlens.tolist()
+    else:
+        klens_l = list(struct.unpack_from(f"<{n}I", buf, klen_off))
+        vlens_l = list(struct.unpack_from(f"<{n}I", buf, vlen_off))
+    keys: list[bytes] = []
+    at = arena_off
+    for length in klens_l:
+        keys.append(bytes(mv[at : at + length]))
+        at += length
+    values: list[bytes] = []
+    for length in vlens_l:
+        values.append(bytes(mv[at : at + length]) if length else _EMPTY)
+        at += length
+    ops_b = bytes(ops)
+    qtypes = [_QTYPE_BY_OP[o] for o in ops_b]
+    if np is None:
+        return QueryColumns(qtypes, keys, values)
+    return QueryColumns(
+        qtypes,
+        keys,
+        values,
+        np.frombuffer(ops_b, dtype=np.uint8),
+        klens.astype(np.int64),
+        vlens.astype(np.int64),
+    )
+
+
+# ------------------------------------------------------------ response block
+
+
+def encode_response_block(statuses, values, sizes=None) -> list:
+    """One sub-batch's responses as a size column + the framer's bytes.
+
+    Layout: ``u32 n | u32 size[n] | <encode_response_window bytes>``.
+    The window bytes are produced by the wire plane's single-pass framer
+    (:func:`~repro.net.wire.encode_response_window`) — byte-identical to
+    what the server's TX path would emit for the same rows.
+    """
+    n = len(statuses)
+    buffer, offsets = encode_response_window(statuses, values, sizes)
+    if np is not None:
+        if isinstance(offsets, np.ndarray):
+            sizes_b = np.diff(offsets).astype(np.uint32).tobytes()
+        else:
+            sizes_b = np.fromiter(
+                (offsets[i + 1] - offsets[i] for i in range(n)),
+                dtype=np.uint32,
+                count=n,
+            ).tobytes()
+    else:
+        sizes_b = struct.pack(
+            f"<{n}I", *(offsets[i + 1] - offsets[i] for i in range(n))
+        )
+    return [_U32.pack(n), sizes_b, buffer]
+
+
+def decode_response_block(buf, offset: int = 0):
+    """Decode a response block into ``(statuses, values, sizes)`` columns.
+
+    ``values[i]`` is the response payload for OK rows and ``None`` for
+    value-less statuses — exactly the plane's ``read_values`` convention,
+    so the router can scatter the columns straight into its outer plane.
+    """
+    (n,) = _U32.unpack_from(buf, offset)
+    sizes_off = offset + 4
+    window_off = sizes_off + 4 * n
+    hdr = RESPONSE_HEADER_BYTES
+    mv = memoryview(buf)
+    if np is not None:
+        sizes_arr = np.frombuffer(buf, dtype="<u4", count=n, offset=sizes_off)
+        sizes = sizes_arr.astype(np.int64).tolist()
+    else:
+        sizes = list(struct.unpack_from(f"<{n}I", buf, sizes_off))
+    statuses: list[int] = []
+    values: list[bytes | None] = []
+    at = window_off
+    for size in sizes:
+        status = buf[at]
+        statuses.append(status)
+        if size > hdr:
+            values.append(bytes(mv[at + hdr : at + size]))
+        else:
+            # A value-less header; OK-with-empty-value still decodes to
+            # b"" because its size equals the bare header too — the
+            # status distinguishes: only OK rows carry a read value.
+            values.append(_EMPTY if status == 0 else None)
+        at += size
+    # Normalise: OK rows keep bytes (possibly b""), other rows are None.
+    for i, status in enumerate(statuses):
+        if status != 0:
+            values[i] = None
+    return statuses, values, sizes

@@ -179,6 +179,7 @@ class DidoUDPServer:
             )
         if drain_limit < 1:
             raise ConfigurationError("drain limit must be positive")
+        self._owns_system = system is None
         self.system = system or DidoSystem(
             memory_bytes=64 << 20,
             expected_objects=65536,
@@ -222,6 +223,9 @@ class DidoUDPServer:
         #: transfer runs in the serve thread and never races batch
         #: processing on the store.
         self.idle_hook = None
+        #: Next worker health check (procshard stores); throttled so the
+        #: per-window cost is one monotonic read.
+        self._next_maintenance = 0.0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -255,6 +259,10 @@ class DidoUDPServer:
             self._socket.close()
         except OSError:  # pragma: no cover - double close
             pass
+        if self._owns_system:
+            # The default-created system is ours to tear down; a procshard
+            # store drains its workers and unlinks every arena here.
+            self.system.close()
         logger.info(
             "stopped: %d queries in %d batches, %d protocol errors",
             self.stats.queries,
@@ -280,6 +288,18 @@ class DidoUDPServer:
                     hook()
                 except Exception:  # pragma: no cover - hook bug, not traffic
                     logger.exception("cluster idle hook failed")
+            now = time.monotonic()
+            if now >= self._next_maintenance:
+                self._next_maintenance = now + 0.5
+                try:
+                    respawned = self.system.maintain()
+                except Exception:  # pragma: no cover - maintenance bug
+                    logger.exception("system maintenance failed")
+                else:
+                    if respawned:
+                        logger.warning(
+                            "respawned dead shard workers: %s", respawned
+                        )
 
     # ------------------------------------------------------------- serving
 

@@ -1,0 +1,498 @@
+"""Process-per-shard backend: rings, codecs, facade, crash paths, identity.
+
+Covers the ISSUE-7 tentpole and its satellites:
+
+* :class:`~repro.net.arena.ShmRing` unit behaviour (roundtrip, oversized
+  streaming, timeout, close);
+* query/response block codec roundtrips;
+* :class:`~repro.engine.procshard.ProcShardStore` facade parity with a
+  plain :class:`~repro.kv.store.KVStore`;
+* worker-crash handling: ERROR-filled rows, respawn, and the
+  shared-memory leak regression (a SIGKILLed worker must leave no
+  orphaned ``/dev/shm`` segment after close);
+* the hypothesis byte-identity fuzz vs :class:`ReferenceEngine` across
+  shard counts {1, 2, 4, 7} x (dedup, hot_cache) flags, mirroring the
+  sharded-vs-plain property test.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dido import DidoSystem
+from repro.engine import BatchPlane, compile_stage_plan
+from repro.engine.procshard import (
+    ProcShardEngine,
+    ProcShardStore,
+    WorkerFailedError,
+)
+from repro.errors import ConfigurationError
+from repro.kv.protocol import Query, QueryType, ResponseStatus, encode_responses
+from repro.kv.store import KVStore
+from repro.net.arena import (
+    RingClosedError,
+    ShmRing,
+    decode_query_block,
+    decode_response_block,
+    encode_query_block,
+    encode_response_block,
+)
+from repro.pipeline.functional import FunctionalPipeline
+from repro.pipeline.megakv import megakv_coupled_config
+
+from test_engine import workload_batches
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def shm_segments() -> set[str]:
+    """Names of live repro ring arenas (Linux /dev/shm listing)."""
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("repro-ring-")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+# ------------------------------------------------------------------ the ring
+
+
+class TestShmRing:
+    def test_roundtrip_parts_and_empty(self):
+        ring = ShmRing.create(4096)
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.send(b"hello ", b"world")
+            assert peer.recv(timeout=1.0) == b"hello world"
+            ring.send()
+            assert peer.recv(timeout=1.0) == b""
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_message_larger_than_capacity_streams_through(self):
+        ring = ShmRing.create(1024)
+        peer = ShmRing.attach(ring.name)
+        blob = os.urandom(10_000)
+        out = []
+        reader = threading.Thread(target=lambda: out.append(peer.recv(timeout=5.0)))
+        reader.start()
+        try:
+            ring.send(blob, timeout=5.0)
+            reader.join(timeout=5.0)
+            assert out == [blob]
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_recv_timeout_returns_none(self):
+        ring = ShmRing.create(512)
+        try:
+            assert ring.recv(timeout=0.05) is None
+        finally:
+            ring.close()
+
+    def test_close_interrupts_waiting_reader(self):
+        ring = ShmRing.create(512)
+        peer = ShmRing.attach(ring.name)
+        errors = []
+
+        def read():
+            try:
+                peer.recv(timeout=10.0)
+            except RingClosedError as exc:
+                errors.append(exc)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        time.sleep(0.02)
+        ring.close()
+        reader.join(timeout=5.0)
+        assert errors
+        peer.close()
+
+    def test_pending_bytes_tracks_queue_depth(self):
+        ring = ShmRing.create(4096)
+        try:
+            assert ring.pending_bytes == 0
+            ring.send(b"x" * 100)
+            assert ring.pending_bytes == 104  # length prefix + body
+        finally:
+            ring.close()
+
+    def test_owner_unlinks_segment(self):
+        before = shm_segments()
+        ring = ShmRing.create(512)
+        assert ring.name in shm_segments() - before
+        ring.close()
+        assert ring.name not in shm_segments()
+
+
+# -------------------------------------------------------------- block codecs
+
+
+class TestBlockCodecs:
+    def test_query_block_roundtrip_all_rows(self):
+        qtypes = [QueryType.SET, QueryType.GET, QueryType.DELETE]
+        keys = [b"alpha", b"", b"y" * 70]
+        values = [b"v1", b"", b""]
+        buf = b"".join(encode_query_block(qtypes, keys, values))
+        columns = decode_query_block(buf)
+        assert columns.qtypes == qtypes
+        assert columns.keys == keys
+        assert columns.values == values
+
+    def test_query_block_row_subset(self):
+        qtypes = [QueryType.SET, QueryType.GET, QueryType.SET, QueryType.GET]
+        keys = [b"a", b"b", b"c", b"d"]
+        values = [b"1", b"", b"3", b""]
+        buf = b"".join(encode_query_block(qtypes, keys, values, rows=[1, 3]))
+        columns = decode_query_block(buf)
+        assert columns.keys == [b"b", b"d"]
+        assert columns.qtypes == [QueryType.GET, QueryType.GET]
+
+    def test_response_block_roundtrip(self):
+        statuses = [
+            ResponseStatus.OK.value,
+            ResponseStatus.NOT_FOUND.value,
+            ResponseStatus.STORED.value,
+            ResponseStatus.OK.value,
+        ]
+        values = [b"payload", None, None, b""]
+        buf = b"".join(encode_response_block(statuses, values))
+        out_statuses, out_values, sizes = decode_response_block(buf)
+        assert out_statuses == statuses
+        # OK rows keep their bytes (including empty); others decode None.
+        assert out_values == [b"payload", None, None, b""]
+        assert sizes[0] == 5 + len(b"payload")
+        assert sizes[1] == 5
+
+    def test_response_block_distinguishes_ok_empty_from_miss(self):
+        buf = b"".join(
+            encode_response_block(
+                [ResponseStatus.OK.value, ResponseStatus.NOT_FOUND.value],
+                [b"", None],
+            )
+        )
+        _, values, _ = decode_response_block(buf)
+        assert values == [b"", None]
+
+
+# ------------------------------------------------------------- store facade
+
+
+class TestProcShardStoreFacade:
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcShardStore(1 << 20, 512, 0)
+
+    def test_scalar_ops_match_plain_store(self):
+        plain = KVStore(4 << 20, 2048)
+        store = ProcShardStore(4 << 20, 2048, 3)
+        try:
+            for i in range(50):
+                key = b"k%d" % (i % 17)
+                value = b"v%d" % i
+                plain.set(key, value)
+                store.set(key, value)
+            for i in range(17):
+                key = b"k%d" % i
+                assert store.get(key) == plain.get(key)
+            assert store.get(b"missing") is None
+            assert store.delete(b"k3") is True
+            assert store.delete(b"k3") is False
+            assert len(store) == len(plain) - 1
+        finally:
+            store.close()
+
+    def test_populate_and_heap_dump(self):
+        store = ProcShardStore(4 << 20, 2048, 4)
+        try:
+            items = [(b"key-%d" % i, b"v") for i in range(100)]
+            assert store.populate(items) == 100
+            assert len(store) == 100
+            keys = {obj.key for obj in store.heap.objects()}
+            assert keys == {key for key, _ in items}
+        finally:
+            store.close()
+
+    def test_merged_index_stats_accumulate(self):
+        store = ProcShardStore(4 << 20, 2048, 2)
+        try:
+            for i in range(30):
+                store.set(b"key-%d" % i, b"v")
+            stats = store.index.stats
+            assert stats.inserts == 30
+            assert stats.average_insert_buckets() > 0
+            assert len(store.index) == 30
+        finally:
+            store.close()
+
+    def test_close_unlinks_all_arenas_and_is_idempotent(self):
+        before = shm_segments()
+        store = ProcShardStore(2 << 20, 512, 3)
+        assert len(shm_segments() - before) == 6  # two rings per worker
+        store.close()
+        store.close()
+        assert shm_segments() <= before
+
+    def test_reset_empties_every_shard(self):
+        store = ProcShardStore(2 << 20, 512, 2)
+        try:
+            store.populate([(b"a", b"1"), (b"b", b"2")])
+            assert len(store) == 2
+            store.reset()
+            assert len(store) == 0
+            assert store.get(b"a") is None
+        finally:
+            store.close()
+
+    def test_worker_exception_carries_traceback(self):
+        store = ProcShardStore(2 << 20, 512, 1)
+        try:
+            with pytest.raises(WorkerFailedError, match="unknown message type"):
+                store.workers[0].request(bytes([250]))
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------- crash handling
+
+
+class TestWorkerCrash:
+    def test_killed_worker_leaves_no_orphaned_segments(self):
+        """ISSUE satellite: SIGKILL a worker mid-life; close() must still
+        unlink every /dev/shm arena (the router owns both rings)."""
+        before = shm_segments()
+        store = ProcShardStore(2 << 20, 512, 3)
+        os.kill(store.workers[1].process.pid, signal.SIGKILL)
+        store.workers[1].process.join(timeout=5.0)
+        store.close()
+        assert shm_segments() <= before
+
+    def test_dead_shard_rows_answer_error_and_respawn(self):
+        store = ProcShardStore(4 << 20, 2048, 2)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        try:
+            keys = [b"key-%d" % i for i in range(40)]
+            store.populate([(k, b"v") for k in keys])
+            dead = store.workers[0]
+            os.kill(dead.process.pid, signal.SIGKILL)
+            dead.process.join(timeout=5.0)
+            plane = BatchPlane([Query(QueryType.GET, k) for k in keys])
+            engine.run(store, plan, plane, epoch=1)
+            responses = plane.take_responses()
+            statuses = {r.status for r in responses}
+            assert ResponseStatus.ERROR in statuses  # dead shard's rows
+            assert ResponseStatus.OK in statuses  # live shard still serves
+            # Column view stays consistent with the response objects.
+            assert plane.response_statuses == [r.status.value for r in responses]
+            assert store.ensure_workers() == [0]
+            assert store.respawns == 1
+            # The respawned worker is empty but serving again.
+            plane = BatchPlane([Query(QueryType.SET, b"fresh", b"1"),
+                                Query(QueryType.GET, b"fresh")])
+            engine.run(store, plan, plane, epoch=2)
+            assert plane.take_responses()[1].value == b"1"
+        finally:
+            store.close()
+
+    def test_maintain_respawns_through_dido_system(self):
+        system = DidoSystem(
+            memory_bytes=4 << 20, expected_objects=2048,
+            engine="procshard", shards=2,
+        )
+        try:
+            assert system.maintain() == []
+            worker = system.store.workers[1]
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=5.0)
+            assert system.maintain() == [1]
+            result = system.process([Query(QueryType.SET, b"x", b"1")])
+            assert result.responses[0].status is ResponseStatus.STORED
+        finally:
+            system.close()
+
+
+# ------------------------------------------------- byte-identity (property)
+
+_STORES: dict[tuple[int, bool, bool], ProcShardStore] = {}
+
+
+def _pooled_store(shards: int, dedup: bool, hot_cache: bool) -> ProcShardStore:
+    """Persistent worker fleets reused across hypothesis examples (spawning
+    14 processes per example would dominate the suite); reset() between
+    examples rebuilds every shard's store fresh."""
+    key = (shards, dedup, hot_cache)
+    store = _STORES.get(key)
+    if store is None:
+        store = _STORES[key] = ProcShardStore(
+            32 << 20, 2048, shards, dedup=dedup, hot_cache=hot_cache
+        )
+    else:
+        store.reset()
+    return store
+
+
+def _drain_pools() -> None:
+    while _STORES:
+        _STORES.popitem()[1].close()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pooled_stores():
+    yield
+    _drain_pools()
+
+
+def _queries_from_ops(ops) -> list[Query]:
+    queries = []
+    for op, key_id, value in ops:
+        key = b"key-%d" % key_id
+        if op == "set":
+            queries.append(Query(QueryType.SET, key, value))
+        elif op == "get":
+            queries.append(Query(QueryType.GET, key))
+        else:
+            queries.append(Query(QueryType.DELETE, key))
+    return queries
+
+
+def run_pipeline(store, engine, config, batches):
+    pipeline = FunctionalPipeline(store, engine=engine)
+    frames = []
+    for batch in batches:
+        result = pipeline.process_batch(config, batch)
+        frames.append(b"".join(f.payload for f in result.frames))
+    return frames
+
+
+# A small key space forces hot keys: repeated GET runs of one key exercise
+# the workers' dedup and hot-cache paths on every shard count.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get", "get", "delete"]),
+        st.integers(0, 15),
+        st.binary(min_size=0, max_size=40),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(ops_strategy, min_size=1, max_size=3))
+def test_procshard_byte_identical_to_reference(batches_ops):
+    """ISSUE satellite: procshard vs ReferenceEngine, byte-identical
+    responses across shard counts {1, 2, 4, 7} x (dedup, hot-cache) flag
+    combinations on mixed GET/SET/DELETE traces."""
+    config = megakv_coupled_config()
+    batches = [_queries_from_ops(ops) for ops in batches_ops]
+    baseline = run_pipeline(KVStore(32 << 20, 2048), "reference", config, batches)
+    for shards in SHARD_COUNTS:
+        for dedup, hot_cache in ((False, False), (True, True)):
+            store = _pooled_store(shards, dedup, hot_cache)
+            frames = run_pipeline(store, ProcShardEngine(), config, batches)
+            assert frames == baseline, (
+                f"shards={shards} dedup={dedup} hot_cache={hot_cache}"
+            )
+
+
+# ------------------------------------------------------------ system level
+
+
+class TestProcShardSystem:
+    def test_dido_system_constructs_procshard_store(self):
+        system = DidoSystem(
+            memory_bytes=4 << 20, expected_objects=2048,
+            engine="procshard", shards=4,
+        )
+        try:
+            assert isinstance(system.store, ProcShardStore)
+            assert isinstance(system.pipeline._engine, ProcShardEngine)
+            assert system.store.num_shards == 4
+        finally:
+            system.close()
+
+    def test_system_matches_plain_system_with_flags(self):
+        system = DidoSystem(
+            memory_bytes=8 << 20, expected_objects=4096,
+            engine="procshard", shards=3, dedup=True, hot_cache=True,
+        )
+        plain = DidoSystem(memory_bytes=8 << 20, expected_objects=4096)
+        try:
+            for batch in workload_batches(batches=3, size=256):
+                proc_result = system.process(list(batch))
+                plain_result = plain.process(list(batch))
+                assert encode_responses(proc_result.responses) == (
+                    encode_responses(plain_result.responses)
+                )
+        finally:
+            system.close()
+
+    def test_worker_frequency_harvest_feeds_profiler(self):
+        system = DidoSystem(
+            memory_bytes=4 << 20, expected_objects=2048,
+            engine="procshard", shards=2, hot_cache=True,
+        )
+        try:
+            hot = [Query(QueryType.SET, b"hot", b"v")] + [
+                Query(QueryType.GET, b"hot")
+            ] * 63
+            for _ in range(4):
+                system.process(list(hot))
+            # The last batch's reply shipped a worker-side harvest of the
+            # hot key's access counts (drained into the profiler at the
+            # start of the *next* process call — the same one-window lag
+            # the in-process heap harvest has).
+            assert system.store.take_frequency_samples()
+        finally:
+            system.close()
+
+    def test_engine_falls_back_in_process_on_plain_store(self):
+        store = KVStore(2 << 20, 512)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        plane = BatchPlane(
+            [Query(QueryType.SET, b"a", b"1"), Query(QueryType.GET, b"a")]
+        )
+        engine.run(store, plan, plane, epoch=0)
+        assert plane.take_responses()[1].value == b"1"
+
+
+# ------------------------------------------------------------------- server
+
+
+class TestProcShardServer:
+    def test_udp_serving_end_to_end(self):
+        from repro.client import DidoClient
+        from repro.server import DidoUDPServer
+
+        # The pooled hypothesis fleets (~14 idle workers) poll their rings;
+        # on a 1-core host they can starve the server past the client
+        # timeout.  This is the last test that needs processes — drop them.
+        _drain_pools()
+        server = DidoUDPServer(
+            ("127.0.0.1", 0), engine="procshard", shards=2,
+            batch_size=64, coalesce_us=500,
+        )
+        before = shm_segments()
+        with server:
+            server.start()
+            with DidoClient(server.address, timeout_s=5.0) as client:
+                assert client.set(b"alpha", b"1")
+                assert client.get(b"alpha") == b"1"
+                assert client.get(b"missing") is None
+                assert client.delete(b"alpha") is True
+        # stop() closed the default-created system: workers gone, arenas
+        # unlinked (the SIGTERM-drain path exercises the same close()).
+        assert shm_segments() <= before
