@@ -85,7 +85,12 @@ def make_batches(skew: float, batch_size: int, batches: int, seed: int):
 
 
 def fresh_store(
-    stream: QueryStream, shards: int, hot: bool, batch_size: int, kind: str = "thread"
+    stream: QueryStream,
+    shards: int,
+    hot: bool,
+    batch_size: int,
+    kind: str = "thread",
+    heap: str = "log",
 ):
     if kind == "proc":
         # Process-per-shard: dedup/hot-cache live inside the workers;
@@ -97,13 +102,14 @@ def fresh_store(
             dedup=hot,
             hot_cache=hot,
             hot_cache_keys=shards * CACHE_BATCHES * batch_size if hot else None,
+            heap=heap,
         )
         store.populate(stream.populate_items(NUM_KEYS))
         return store
     if shards > 1:
-        store = ShardedKVStore(64 << 20, 2 * NUM_KEYS, shards)
+        store = ShardedKVStore(64 << 20, 2 * NUM_KEYS, shards, heap=heap)
     else:
-        store = KVStore(64 << 20, 2 * NUM_KEYS)
+        store = KVStore(64 << 20, 2 * NUM_KEYS, heap=heap)
     store.populate(stream.populate_items(NUM_KEYS))
     if hot:
         store.attach_hot_cache(CACHE_BATCHES * batch_size)
@@ -133,14 +139,15 @@ def contenders(shards: int):
 
 
 def run_engine(
-    engine, config, stream, batches, shards, hot, batch_size, warmup, kind="thread"
+    engine, config, stream, batches, shards, hot, batch_size, warmup,
+    kind="thread", heap="log",
 ):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
     list covers every batch so identity checks span warmup too.
     """
-    store = fresh_store(stream, shards, hot, batch_size, kind)
+    store = fresh_store(stream, shards, hot, batch_size, kind, heap)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
@@ -161,12 +168,16 @@ def run_engine(
 
 
 def bench_skew(
-    skew, config, batch_size, num_batches, warmup, repeat, shards, seed, only=None
+    skew, config, batch_size, num_batches, warmup, repeat, shards, seed,
+    only=None, heap="log",
 ):
     stream, batches = make_batches(skew, batch_size, num_batches + warmup, seed)
     timed_queries = batch_size * num_batches
+    # The identity baseline stays the per-query reference engine on the
+    # slab heap regardless of --heap, so a heap bug cannot self-certify.
     _, reference = run_engine(
-        "reference", config, stream, batches, 1, False, batch_size, warmup
+        "reference", config, stream, batches, 1, False, batch_size, warmup,
+        heap="slab",
     )
     best: dict[str, float] = {}
     for label, factory, engine_shards, hot, kind in contenders(shards):
@@ -176,7 +187,7 @@ def bench_skew(
         for _ in range(repeat):
             elapsed, outputs = run_engine(
                 factory(), config, stream, batches, engine_shards, hot,
-                batch_size, warmup, kind,
+                batch_size, warmup, kind, heap,
             )
             if outputs != reference:
                 raise AssertionError(
@@ -207,6 +218,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--skews", default="0.0,0.5,0.9,0.99,1.2")
     parser.add_argument(
+        "--heap",
+        choices=("log", "slab"),
+        default="log",
+        help="value heap behind every contender's store (default: log)",
+    )
+    parser.add_argument(
         "--contenders",
         default=None,
         help="comma-separated contender labels to run (default: all)",
@@ -227,7 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     for skew in skews:
         row = bench_skew(
             skew, config, args.batch_size, args.batches, args.warmup,
-            args.repeat, args.shards, args.seed, only,
+            args.repeat, args.shards, args.seed, only, args.heap,
         )
         results.append(row)
         parts = [f"skew {skew:<4}"]
@@ -248,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "num_keys": NUM_KEYS,
         "cache_capacity": CACHE_BATCHES * args.batch_size,
         "shards": args.shards,
+        "heap": args.heap,
         # Flat procshard/sharded scaling curves on 1-2 core CI hosts are
         # expected; record the host size so they read as such.
         "cpu_count": os.cpu_count(),

@@ -229,6 +229,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         dedup=args.dedup,
         hot_cache=args.hot_cache,
+        heap=args.heap,
     )
     server = DidoUDPServer(
         (args.host, args.port),
@@ -310,6 +311,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     serve_args += ["--engine", args.engine]
     serve_args += ["--shards", str(args.shards)]
     serve_args += ["--batch-size", str(args.batch_size)]
+    serve_args += ["--heap", args.heap]
     if args.dedup:
         serve_args.append("--dedup")
     if args.hot_cache:
@@ -420,6 +422,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         shards=args.shards,
         dedup=args.dedup,
         hot_cache=args.hot_cache,
+        heap=args.heap,
     )
     for label in _TELEMETRY_PHASES:
         stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
@@ -509,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--hot-cache", action="store_true",
         help="attach the skew-gated versioned hot-key read cache",
     )
+    p.add_argument(
+        "--heap", choices=("log", "slab"), default="log",
+        help="value heap: append-only log arena (default) or slab allocator",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     cluster_group = p.add_argument_group("cluster membership (spawned by `repro cluster`)")
     cluster_group.add_argument(
@@ -552,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=4096)
     p.add_argument("--dedup", action="store_true")
     p.add_argument("--hot-cache", action="store_true")
+    p.add_argument(
+        "--heap", choices=("log", "slab"), default="log",
+        help="value heap for every node (default: log)",
+    )
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("loadgen", help="drive a running server with generated load")
@@ -620,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--hot-cache", action="store_true",
         help="attach the skew-gated versioned hot-key read cache",
+    )
+    p.add_argument(
+        "--heap", choices=("log", "slab"), default="log",
+        help="value heap: append-only log arena (default) or slab allocator",
     )
     p.set_defaults(func=cmd_telemetry)
 

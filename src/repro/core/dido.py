@@ -88,6 +88,10 @@ class DidoSystem:
         its measured hit rate feeds the cost model's hot-fraction input.
     hot_cache_keys:
         Cache capacity in keys (total across shards); default 1024.
+    heap:
+        Value heap kind for every store this system creates: ``"log"``
+        (default — append-only arena, compacted from :meth:`maintain`) or
+        ``"slab"`` (size-classed allocator with per-SET LRU eviction).
     """
 
     def __init__(
@@ -103,6 +107,7 @@ class DidoSystem:
         dedup: bool = False,
         hot_cache: bool = False,
         hot_cache_keys: int | None = None,
+        heap: str = "log",
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
@@ -127,9 +132,10 @@ class DidoSystem:
                 # in-process path; each batch header carries the skew
                 # gate once the profiler has seen a window.
                 hot_cache_active=False,
+                heap=heap,
             )
         elif shards > 1:
-            self.store = ShardedKVStore(budget, expected_objects, shards)
+            self.store = ShardedKVStore(budget, expected_objects, shards, heap=heap)
             if engine is None or engine == "auto":
                 engine = "sharded"
             elif engine != "sharded" and not hasattr(engine, "run"):
@@ -138,7 +144,7 @@ class DidoSystem:
                     "use engine='sharded' (or shards=1)"
                 )
         else:
-            self.store = KVStore(budget, expected_objects)
+            self.store = KVStore(budget, expected_objects, heap=heap)
         self._hot_caches = []
         if hot_cache and not self._procshard:
             if isinstance(self.store, ShardedKVStore):
@@ -294,15 +300,24 @@ class DidoSystem:
     # ------------------------------------------------------------- lifecycle
 
     def maintain(self) -> list[int]:
-        """Periodic health check: respawn dead shard workers (procshard).
+        """Periodic idle-tick work: heap compaction + worker health checks.
 
-        Returns the respawned shard ids (always empty for in-process
-        stores).  The UDP server calls this between windows so a crashed
-        worker comes back without restarting the node; a respawned worker
-        starts empty — same durability contract as a rebooted cache node.
+        For in-process stores this is the log arena's compaction barrier:
+        the UDP server calls it every 0.5 s between windows, so dead
+        space from tombstoned SET/DELETEs is reclaimed in large batches
+        off the query path (``force=True`` lowers the trigger — an idle
+        tick can afford the scan).  A slab-heap store makes this a no-op.
+
+        For procshard stores it additionally respawns dead shard workers
+        (compaction happens inside the workers, at their own idle ticks)
+        and returns the respawned shard ids; a respawned worker starts
+        empty — same durability contract as a rebooted cache node.
         """
         if self._procshard:
             return self.store.ensure_workers()
+        maintenance = getattr(self.store, "maintenance", None)
+        if maintenance is not None:
+            maintenance(force=True)
         return []
 
     def close(self) -> None:

@@ -192,11 +192,43 @@ class SerialEngine:
             return
         keys = plane.keys
         values = plane.set_values
-        outcomes = store.multi_allocate([(keys[i], values[i]) for i in indices])
         locations = plane.locations
         pending = plane.pending_inserts
         batch_inserts = plane.batch_inserts
         displaced = self._displaced
+        mm_columns = getattr(store, "multi_allocate_columns", None)
+        if mm_columns is None:
+            columns = None
+        elif len(indices) == len(keys):
+            # All-SET batch: the phase covers every row in order, so the
+            # plane's own columns go straight through without a gather.
+            columns = mm_columns(keys, values)
+        else:
+            columns = mm_columns(
+                [keys[i] for i in indices], [values[i] for i in indices]
+            )
+        if columns is not None:
+            # Columnar fast path (bulk-alloc heaps): one arena append for
+            # the run, replace locations as a parallel column, no eviction
+            # outcomes to unpack.  Settled items had their Insert+Delete
+            # pair applied in place at MM time, so they queue no pending
+            # index work (and need no batch_inserts entry — there is no
+            # pending Insert a later displacement would have to cancel).
+            new_locations, replaced, settled = columns
+            for i, location, old_location, done in zip(
+                indices, new_locations, replaced, settled
+            ):
+                key = keys[i]
+                locations[i] = location
+                if done:
+                    pending[i] = None
+                    continue
+                pending[i] = (key, location)
+                if old_location is not None:
+                    displaced(plane, i, key, old_location)
+                batch_inserts[key] = i
+            return
+        outcomes = store.multi_allocate([(keys[i], values[i]) for i in indices])
         for i, outcome in zip(indices, outcomes):
             key = keys[i]
             locations[i] = outcome.location

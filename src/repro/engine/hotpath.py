@@ -85,6 +85,7 @@ class HotPathState:
         "finished",
         "store",
         "epoch",
+        "revalidations",
     )
 
     def __init__(self) -> None:
@@ -116,6 +117,12 @@ class HotPathState:
         #: needs both for the fallback read of an invalidated group.
         self.store = None
         self.epoch = 0
+        #: Cache-served groups whose snapshot died mid-batch and had to be
+        #: re-resolved through the index.  Only the slab heap can trigger
+        #: this (a SET's LRU eviction invalidates an unwritten key); the
+        #: log arena never evicts inside a batch, so this stays 0 there —
+        #: regression-tested.
+        self.revalidations = 0
 
     # ------------------------------------------------------------- building
 
@@ -222,6 +229,7 @@ class HotPathState:
                     cache.misses += n
                     self.cache_hits -= n
                     self.cache_misses += n
+                    self.revalidations += 1
                     location = store.multi_key_compare(
                         [key], [store.multi_index_search([key])[0]]
                     )[0]

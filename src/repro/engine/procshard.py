@@ -148,7 +148,11 @@ class _WorkerState:
 
     def __init__(self, config: dict):
         self.config = config
-        self.store = KVStore(config["memory_bytes"], config["expected_objects"])
+        self.store = KVStore(
+            config["memory_bytes"],
+            config["expected_objects"],
+            heap=config.get("heap", "log"),
+        )
         if config.get("hot_cache"):
             cache = self.store.attach_hot_cache(config.get("hot_cache_keys"))
             cache.active = bool(config.get("hot_cache_active", True))
@@ -196,6 +200,10 @@ def _handle_batch(state: _WorkerState, payload) -> list:
     plane = BatchPlane(columns)
     state.engine.run(state.store, state.plan, plane, epoch=epoch)
     responses = plane.take_responses()
+    # Post-batch barrier (the worker-side mirror of FunctionalPipeline's):
+    # settle the log arena's memory debt before the next batch arrives.
+    if state.store.needs_maintenance:
+        state.store.maintenance()
     statuses = plane.response_statuses
     sizes = plane.response_sizes
     if statuses is None:
@@ -241,6 +249,9 @@ def _worker_main(in_name: str, out_name: str, config: dict) -> None:
             except RingClosedError:
                 break
             if msg is None:
+                # Idle tick: the worker owns its shard outright, so this
+                # is a free compaction barrier for a log-arena heap.
+                state.store.maintenance(force=True)
                 continue
             mtype = msg[0]
             if mtype == MSG_SHUTDOWN:
@@ -483,6 +494,7 @@ class ProcShardStore:
         inner: str = "vector",
         ring_bytes: int = DEFAULT_RING_BYTES,
         start_method: str | None = None,
+        heap: str = "log",
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -508,6 +520,7 @@ class ProcShardStore:
             "hot_cache_keys": per_cache,
             "hot_cache_active": hot_cache_active,
             "inner": inner,
+            "heap": heap,
         }
         self.dedup = dedup
         self.workers = [

@@ -268,6 +268,7 @@ class ShardedEngine:
                 cache.misses += n
                 hotpath.cache_hits -= n
                 hotpath.cache_misses += n
+                hotpath.revalidations += 1
                 location = shard.multi_key_compare(
                     [key], [shard.multi_index_search([key])[0]]
                 )[0]

@@ -55,6 +55,9 @@ class IndexStats:
     insert_bucket_writes: int = 0
     insert_kicks: int = 0
     failed_inserts: int = 0
+    #: Insert+Delete pairs settled as one in-place slot rewrite (each also
+    #: counts once in ``inserts`` and once in ``deletes``).
+    reassigns: int = 0
 
     def average_insert_buckets(self) -> float:
         """Average buckets written per insert — the paper's runtime estimate
@@ -266,7 +269,7 @@ class CuckooHashTable:
         matching signature, modelling the short-circuit a real
         implementation performs.
         """
-        return self.search_prehashed(key_signature(key), self.candidate_buckets(key))
+        return self.search_prehashed(*self.probe_cached(key))
 
     def search_prehashed(self, signature: int, buckets: list[int]) -> tuple[list[int], int]:
         """:meth:`search` with the key's probe spec already computed."""
@@ -332,7 +335,8 @@ class CuckooHashTable:
         """
         if location < 0:
             raise ConfigurationError("location must be a non-negative slab offset")
-        return self.insert_prehashed(key_signature(key), self.candidate_buckets(key), location)
+        signature, buckets = self.probe_cached(key)
+        return self.insert_prehashed(signature, buckets, location)
 
     def insert_prehashed(self, signature: int, buckets: list[int], location: int) -> int:
         """:meth:`insert` with the key's probe spec already computed."""
@@ -388,13 +392,65 @@ class CuckooHashTable:
             f"(load factor {self.load_factor:.2f})"
         )
 
+    def reassign_prehashed(
+        self,
+        signature: int,
+        buckets: list[int],
+        old_location: int,
+        new_location: int,
+    ) -> bool:
+        """Fused Delete+Insert for a replaced key: rewrite the slot in place.
+
+        The steady-state SET generates one index Insert and one Delete for
+        the *same* key (paper §II-C2), so both ops share one probe spec and
+        — when the old entry is found — one slot: overwriting its location
+        settles the pair in a single bucket scan instead of an
+        empty-then-refill round trip.  Counts as one insert plus one delete
+        in the stats (the modelled op pair is unchanged; ``reassigns``
+        records the fusion).  Returns ``False`` when no entry matches
+        ``(signature, old_location)`` — e.g. the old version's Insert is
+        still pending in the current batch — and the caller falls back to
+        the queued Delete + Insert pair.
+        """
+        if new_location < 0:
+            raise ConfigurationError("location must be a non-negative slab offset")
+        table = self._buckets
+        for bucket_idx in buckets:
+            slot_idx = 0
+            for slot in table[bucket_idx]:
+                if slot.location == old_location and slot.signature == signature:
+                    self._rewrite_location(bucket_idx, slot_idx, new_location)
+                    stats = self.stats
+                    stats.inserts += 1
+                    stats.deletes += 1
+                    stats.insert_bucket_writes += 1
+                    stats.reassigns += 1
+                    return True
+                slot_idx += 1
+        # The old entry may have been kicked to a displacement-derived
+        # bucket during an earlier insert; probe those too.
+        for origin in range(self._num_hashes):
+            bucket_idx = (
+                fnv1a64(signature.to_bytes(4, "little"), seed=origin + 1) & self._mask
+            )
+            for slot_idx, slot in enumerate(table[bucket_idx]):
+                if slot.location == old_location and slot.signature == signature:
+                    self._rewrite_location(bucket_idx, slot_idx, new_location)
+                    stats = self.stats
+                    stats.inserts += 1
+                    stats.deletes += 1
+                    stats.insert_bucket_writes += 1
+                    stats.reassigns += 1
+                    return True
+        return False
+
     def delete(self, key: bytes, location: int | None = None) -> bool:
         """Remove the entry for ``key`` (optionally matching ``location``).
 
         Returns True when an entry was removed.  Probes the same buckets a
         search would.
         """
-        return self.delete_prehashed(key_signature(key), self.candidate_buckets(key), location)
+        return self.delete_prehashed(*self.probe_cached(key), location)
 
     def delete_prehashed(
         self, signature: int, buckets: list[int], location: int | None = None
@@ -440,6 +496,16 @@ class CuckooHashTable:
                     self._write_slot(bucket_idx, slot_idx, 0, EMPTY)
                     return True
         return False
+
+    def _rewrite_location(self, bucket_idx: int, slot_idx: int, location: int) -> None:
+        """Slot rewrite for a reassign: the signature is unchanged, so only
+        the location cell (and its mirror cell, when attached) is touched.
+        Version bump and mirror coherence match :meth:`_write_slot`.
+        """
+        self._buckets[bucket_idx][slot_idx].location = location
+        self._versions[bucket_idx] += 1
+        if self._mirror is not None:
+            self._mirror.locations[bucket_idx, slot_idx] = location
 
     def _write_slot(self, bucket_idx: int, slot_idx: int, signature: int, location: int) -> None:
         """Single-slot "atomic compare-exchange" write with version bump.

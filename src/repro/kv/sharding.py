@@ -116,6 +116,9 @@ class ShardedKVStore:
         Total index sizing hint, divided evenly across shards.
     num_shards:
         Number of partitions; 1 is legal (a degenerate single shard).
+    heap:
+        Per-shard value heap kind (``"log"``/``"slab"``), forwarded to
+        each shard's :class:`KVStore`.
     """
 
     def __init__(
@@ -124,18 +127,21 @@ class ShardedKVStore:
         expected_objects: int,
         num_shards: int,
         num_hashes: int = 2,
+        heap: str = "log",
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
-        # Every shard needs at least one slab page to hold objects at all;
-        # an even split of a small budget is floored rather than rejected.
+        # Every shard needs at least one slab page / log segment to hold
+        # objects at all; an even split of a small budget is floored
+        # rather than rejected.
         shard_budget = max(memory_bytes // num_shards, SlabAllocator.PAGE_BYTES)
         self.shards = [
             KVStore(
                 shard_budget,
                 max(64, expected_objects // num_shards),
                 num_hashes=num_hashes,
+                heap=heap,
             )
             for _ in range(num_shards)
         ]
@@ -184,6 +190,17 @@ class ShardedKVStore:
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
+
+    # ----------------------------------------------------------- maintenance
+
+    @property
+    def needs_maintenance(self) -> bool:
+        """True when any shard's heap wants a compaction pass."""
+        return any(shard.needs_maintenance for shard in self.shards)
+
+    def maintenance(self, force: bool = False) -> int:
+        """Run each shard's heap compaction; returns total evictions."""
+        return sum(shard.maintenance(force=force) for shard in self.shards)
 
     # --------------------------------------------------------- merged views
 

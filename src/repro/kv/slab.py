@@ -140,9 +140,6 @@ class SlabAllocator:
             evicted_location, evicted = slab.objects.popitem(last=False)
             self._location_to_class.pop(evicted_location, None)
             self.stats.evictions += 1
-        elif slab.full:
-            # _grow_class succeeded; fall through to plain allocation.
-            pass
         location = self._next_location
         self._next_location += 1
         slab.objects[location] = obj

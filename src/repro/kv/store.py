@@ -1,9 +1,11 @@
-"""The assembled key-value store: cuckoo index over a slab heap.
+"""The assembled key-value store: cuckoo index over a value heap.
 
-:class:`KVStore` wires the cuckoo hash table and the slab allocator into the
-GET/SET/DELETE semantics of Section II-B, and reports the per-operation cost
-observations (buckets touched, evictions generated) that both the workload
-profiler and the cost model consume.
+:class:`KVStore` wires the cuckoo hash table and a value heap — the
+append-only :class:`~repro.kv.logarena.LogValueArena` by default, or the
+classic :class:`~repro.kv.slab.SlabAllocator` via ``heap="slab"`` — into
+the GET/SET/DELETE semantics of Section II-B, and reports the
+per-operation cost observations (buckets touched, evictions generated)
+that both the workload profiler and the cost model consume.
 
 The pipeline engine does not call ``get``/``set`` directly — it runs the
 fine-grained tasks (IN, KC, RD, ...) separately so they can live on
@@ -17,10 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigurationError
 from repro.kv.hashtable import CuckooHashTable
+from repro.kv.logarena import LogValueArena
 from repro.kv.objects import KVObject
 from repro.kv.slab import SlabAllocator
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -41,7 +45,7 @@ class StoreStats:
         return self.get_hits / self.gets
 
 
-@dataclass
+@dataclass(slots=True)
 class SetOutcome:
     """What one SET did: where the object went and what it displaced.
 
@@ -52,11 +56,19 @@ class SetOutcome:
     Delete pairing analysed in Figure 6.  The ``*_location`` fields identify
     the displaced index entries so Deletes remove exactly the stale entry
     even when a reassigned Insert has already added the new one.
+
+    On a log-arena heap ``evicted`` is always ``None``: the arena never
+    evicts inside a SET, it tombstones and settles evictions (with their
+    index Deletes) in bulk at the compaction barrier — see
+    :meth:`KVStore.maintenance`.  Displaced objects are
+    :class:`~repro.kv.objects.KVObject` on the slab and
+    :class:`~repro.kv.logarena.LogRecord` on the log arena; both expose
+    ``key``/``value``.
     """
 
     location: int
-    evicted: KVObject | None
-    replaced: KVObject | None
+    evicted: object | None
+    replaced: object | None
     evicted_location: int | None = None
     replaced_location: int | None = None
 
@@ -71,10 +83,16 @@ class KVStore:
     Parameters
     ----------
     memory_bytes:
-        Slab budget for key-value objects.
+        Heap budget for key-value objects.
     expected_objects:
         Sizing hint for the index (buckets ~ expected / slots, padded to
         keep cuckoo load factors safe).
+    heap:
+        Value storage substrate: ``"log"`` (default) for the append-only
+        :class:`~repro.kv.logarena.LogValueArena` (bump-pointer SETs,
+        tombstoned deletes, barrier-time compaction), ``"slab"`` for the
+        size-classed :class:`~repro.kv.slab.SlabAllocator` with per-SET
+        LRU eviction, or an allocator instance with the same interface.
     """
 
     def __init__(
@@ -83,12 +101,27 @@ class KVStore:
         expected_objects: int,
         num_hashes: int = 2,
         index=None,
+        heap: str | object = "log",
     ):
         buckets = max(64, int(expected_objects / 2))
         if index is None:
             index = CuckooHashTable(num_buckets=buckets, num_hashes=num_hashes)
         self.index = index
-        self.heap = SlabAllocator(memory_bytes)
+        if heap is None or heap == "log":
+            self.heap = LogValueArena(memory_bytes)
+        elif heap == "slab":
+            self.heap = SlabAllocator(memory_bytes)
+        elif isinstance(heap, str):
+            raise ConfigurationError(
+                f"heap must be 'slab' or 'log', not {heap!r}"
+            )
+        else:
+            self.heap = heap
+        #: Log-arena fast paths, bound once (None on a slab heap).
+        self._heap_alloc_kv = getattr(self.heap, "allocate_kv", None)
+        self._heap_bulk_alloc = getattr(self.heap, "multi_allocate_kv", None)
+        self._heap_discard = getattr(self.heap, "discard", None)
+        self._heap_compact = getattr(self.heap, "compact", None)
         self._key_location: dict[bytes, int] = {}
         self.stats = StoreStats()
         #: Optional :class:`~repro.kv.hotcache.HotKeyCache`; the write
@@ -139,13 +172,28 @@ class KVStore:
 
     def allocate(self, key: bytes, value: bytes) -> SetOutcome:
         """MM: place a new object, evicting/replacing as needed."""
-        replaced: KVObject | None = None
+        replaced = None
         replaced_location: int | None = None
         old_location = self._key_location.get(key)
         if old_location is not None and old_location in self.heap:
             replaced = self.heap.free(old_location)
             replaced_location = old_location
-        location, evicted = self.heap.allocate(KVObject(key, value))
+        alloc_kv = self._heap_alloc_kv
+        try:
+            if alloc_kv is not None:
+                location, evicted = alloc_kv(key, value)
+            else:
+                location, evicted = self.heap.allocate(KVObject(key, value))
+        except CapacityError:
+            if replaced is not None:
+                # The old version is already freed: drop every reference
+                # to it so a later GET misses instead of resolving a
+                # dangling handle through the stale mapping.
+                self._key_location.pop(key, None)
+                self.index_delete(key, replaced_location)
+                if self.hot_cache is not None:
+                    self.hot_cache.invalidate(key)
+            raise
         evicted_location: int | None = None
         if evicted is not None:
             evicted_location = self._key_location.pop(evicted.key, None)
@@ -273,9 +321,127 @@ class KVStore:
             obj.record_access(epoch, count)
 
     def multi_allocate(self, items: list[tuple[bytes, bytes]]) -> list[SetOutcome]:
-        """Bulk MM: allocate each (key, value) in order; outcomes per item."""
-        allocate = self.allocate
-        return [allocate(key, value) for key, value in items]
+        """Bulk MM: allocate each (key, value) in order; outcomes per item.
+
+        On a log-arena heap the whole run is placed with one columnar
+        append (:meth:`~repro.kv.logarena.LogValueArena.multi_allocate_kv`)
+        and only the replace bookkeeping stays per item; outcomes are
+        identical to N scalar calls (in-batch duplicate keys replace the
+        earlier version, ``evicted`` is always ``None`` — the arena defers
+        eviction to the compaction barrier).
+        """
+        bulk = self._heap_bulk_alloc
+        if bulk is None or not items:
+            allocate = self.allocate
+            return [allocate(key, value) for key, value in items]
+        keys = [key for key, _ in items]
+        values = [value for _, value in items]
+        if max(map(len, keys)) + max(map(len, values)) > self.heap.budget_bytes:
+            # Conservative screen tripped: re-check exactly — an oversized
+            # item must fail at its position with every earlier item
+            # applied, which is exactly the scalar loop.
+            budget = self.heap.budget_bytes
+            if any(len(key) + len(value) > budget for key, value in items):
+                allocate = self.allocate
+                return [allocate(key, value) for key, value in items]
+        locations = bulk(keys, values)
+        key_location = self._key_location
+        key_location_get = key_location.get
+        discard = self._heap_discard
+        if discard is None:
+            heap_free, heap_contains = self.heap.free, self.heap.__contains__
+
+            def discard(location):
+                return heap_free(location) if heap_contains(location) else None
+
+        cache = self.hot_cache
+        on_write = cache.on_write if cache is not None else None
+        outcomes: list[SetOutcome] = []
+        append = outcomes.append
+        for key, value, location in zip(keys, values, locations):
+            old_location = key_location_get(key)
+            replaced = (
+                discard(old_location) if old_location is not None else None
+            )
+            key_location[key] = location
+            if on_write is not None:
+                on_write(key, value)
+            append(
+                SetOutcome(
+                    location,
+                    None,
+                    replaced,
+                    None,
+                    old_location if replaced is not None else None,
+                )
+            )
+        return outcomes
+
+    def multi_allocate_columns(
+        self, keys: list[bytes], values: list[bytes]
+    ) -> tuple[list[int], list[int | None], list[bool]] | None:
+        """Columnar MM over parallel key/value columns (bulk-heap fast path).
+
+        The engines' MM stage calls this first: on a bulk-alloc heap the
+        whole SET run lands with one columnar append and the replace
+        bookkeeping returns as aligned columns — ``locations[i]`` for the
+        new object, ``replaced[i]`` as the displaced old location (``None``
+        when ``keys[i]`` was fresh or its index entry was settled here),
+        and ``settled[i]`` marking items whose Insert+Delete pair was
+        already applied as one in-place slot rewrite
+        (:meth:`~repro.kv.hashtable.CuckooHashTable.reassign_prehashed`) —
+        those need no pending index work at all.  No per-item
+        :class:`SetOutcome` is built, and ``evicted`` is structurally
+        ``None`` (the arena defers eviction to the compaction barrier).
+
+        Returns ``None`` when the heap has no bulk allocator or an item
+        might exceed the budget (positional failure semantics require the
+        scalar loop); callers then fall back to :meth:`multi_allocate`.
+        """
+        bulk = self._heap_bulk_alloc
+        if bulk is None or not keys:
+            return None
+        if max(map(len, keys)) + max(map(len, values)) > self.heap.budget_bytes:
+            return None
+        locations = bulk(keys, values)
+        key_location = self._key_location
+        key_location_get = key_location.get
+        discard = self._heap_discard
+        if discard is None:
+            heap_free, heap_contains = self.heap.free, self.heap.__contains__
+
+            def discard(location):
+                return heap_free(location) if heap_contains(location) else None
+
+        index = self.index
+        probe = getattr(index, "probe_cached", None)
+        reassign = (
+            getattr(index, "reassign_prehashed", None) if probe is not None else None
+        )
+        cache = self.hot_cache
+        on_write = cache.on_write if cache is not None else None
+        replaced: list[int | None] = []
+        settled: list[bool] = []
+        rappend = replaced.append
+        sappend = settled.append
+        for key, value, location in zip(keys, values, locations):
+            old_location = key_location_get(key)
+            if old_location is not None and discard(old_location) is not None:
+                if reassign is not None and reassign(
+                    *probe(key), old_location, location
+                ):
+                    rappend(None)
+                    sappend(True)
+                else:
+                    rappend(old_location)
+                    sappend(False)
+            else:
+                rappend(None)
+                sappend(False)
+            key_location[key] = location
+            if on_write is not None:
+                on_write(key, value)
+        return locations, replaced, settled
 
     def multi_index_insert(self, entries: list[tuple[bytes, int]]) -> int:
         """Bulk IN/Insert: apply entries in order; returns buckets written."""
@@ -344,6 +510,76 @@ class KVStore:
         self.stats.delete_hits += 1
         return True
 
+    # ----------------------------------------------------------- maintenance
+
+    @property
+    def needs_maintenance(self) -> bool:
+        """Cheap barrier gate: does the heap want a compaction pass?
+
+        Always ``False`` on a slab heap (it reclaims inline, per SET).
+        """
+        if self._heap_compact is None:
+            return False
+        return self.heap.needs_maintenance
+
+    def maintenance(self, force: bool = False) -> int:
+        """Run one heap compaction pass at a batch barrier; returns evictions.
+
+        Log-arena only (a no-op on the slab, which never defers work).
+        Compaction evicts whole least-recently-touched segments while the
+        live set exceeds the budget; every evicted record gets its index
+        Delete, key-location unmapping and hot-cache invalidation here —
+        the aggregate settlement of the paper's one-Insert-one-Delete SET
+        accounting (§II-C2).  ``force`` lowers the trigger to "at least a
+        segment's worth of dead bytes" for the server's idle tick, where
+        the scan costs nothing anyone is waiting on.
+        """
+        compact = self._heap_compact
+        if compact is None:
+            return 0
+        heap = self.heap
+        telemetry = get_telemetry()
+        registry = telemetry.registry if telemetry.enabled else None
+        if registry is not None:
+            registry.gauge(
+                "repro_logarena_live_bytes",
+                help="Live key+value bytes in the log arena",
+            ).set(heap.live_bytes)
+            registry.gauge(
+                "repro_logarena_dead_bytes",
+                help="Tombstoned log-arena bytes awaiting compaction",
+            ).set(heap.dead_bytes)
+        if not (
+            heap.needs_maintenance
+            or (force and heap.dead_bytes >= heap.segment_bytes)
+        ):
+            return 0
+        runs_before = heap.stats.compactions
+        evicted = compact()
+        for location, record in evicted:
+            key = record.key
+            if self._key_location.get(key) == location:
+                del self._key_location[key]
+            self.index_delete(key, location)
+            if self.hot_cache is not None:
+                self.hot_cache.invalidate(key)
+        if registry is not None:
+            runs = heap.stats.compactions - runs_before
+            if runs:
+                registry.counter(
+                    "repro_logarena_compactions_total",
+                    help="Log-arena compaction passes that reclaimed space",
+                ).inc(runs)
+            registry.gauge(
+                "repro_logarena_live_bytes",
+                help="Live key+value bytes in the log arena",
+            ).set(heap.live_bytes)
+            registry.gauge(
+                "repro_logarena_dead_bytes",
+                help="Tombstoned log-arena bytes awaiting compaction",
+            ).set(heap.dead_bytes)
+        return len(evicted)
+
     # ------------------------------------------------------- bulk entry points
     # Arena-backed bulk operations: one call applies a whole decoded
     # column block (the procshard workers' populate/import path and the
@@ -364,6 +600,8 @@ class KVStore:
             except CapacityError:
                 break
             stored += 1
+            if not stored % 4096 and self.needs_maintenance:
+                self.maintenance()
         return stored
 
     def bulk_get_columns(
@@ -398,4 +636,8 @@ class KVStore:
             except CapacityError:
                 break
             stored += 1
+            if not stored % 4096 and self.needs_maintenance:
+                # A bulk load on the log arena settles its memory debt
+                # periodically instead of overcommitting unboundedly.
+                self.maintenance()
         return stored

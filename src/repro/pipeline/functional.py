@@ -204,6 +204,13 @@ class FunctionalPipeline:
             task_times=task_times,
         )
         responses = plane.take_responses()
+        # Post-batch barrier: the log arena compacts only between batches
+        # (never mid-batch, so live values are never moved under a running
+        # engine).  The gate is one cheap property read; slab-heap stores
+        # report False forever.
+        store = self.store
+        if getattr(store, "needs_maintenance", False):
+            store.maintenance()
         self._batch_counter += 1
         result = BatchResult(
             responses=responses,

@@ -149,6 +149,10 @@ class DidoUDPServer:
     hot_cache:
         Attach the skew-gated hot-key read cache to the default-created
         system (ignored when an explicit ``system`` is passed).
+    heap:
+        Value heap kind ("log"/"slab") for the default-created system
+        (ignored when an explicit ``system`` is passed).  The log arena's
+        compaction rides the server's 0.5 s maintenance tick.
     """
 
     def __init__(
@@ -164,6 +168,7 @@ class DidoUDPServer:
         drain_limit: int = DEFAULT_DRAIN_LIMIT,
         dedup: bool = False,
         hot_cache: bool = False,
+        heap: str = "log",
     ):
         if coalesce_us is not None:
             if coalesce_us < 0:
@@ -187,6 +192,7 @@ class DidoUDPServer:
             shards=shards,
             dedup=dedup,
             hot_cache=hot_cache,
+            heap=heap,
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         try:

@@ -219,6 +219,16 @@ WIRE_TIMER_SERIES = (
     "repro_wire_frame_ns",
 )
 
+#: Log-arena health called out in its own section: the live/dead byte
+#: balance an operator reads the compactor's effectiveness from, plus the
+#: compaction-pass counter (see ``--heap`` and
+#: :meth:`repro.kv.store.KVStore.maintenance`).
+LOGARENA_SERIES = (
+    "repro_logarena_live_bytes",
+    "repro_logarena_dead_bytes",
+    "repro_logarena_compactions_total",
+)
+
 
 def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
     """Human-readable digest: metric totals, coalescing gauges, recent events."""
@@ -254,6 +264,14 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
                 lines.append(
                     f"  {name}{label_text}: n={slot['count']} mean={mean / 1e3:.1f}us"
                 )
+    arena = [name for name in LOGARENA_SERIES if name in snapshot]
+    if arena:
+        lines.append("")
+        lines.append("log arena")
+        for name in arena:
+            for labels, value in sorted(snapshot[name]["samples"].items()):
+                label_text = f"{{{labels}}}" if labels else ""
+                lines.append(f"  {name}{label_text}: {value:g}")
     events = telemetry.events.snapshot()
     replans = [e for e in events if e.kind == "replan"]
     lines.append("")

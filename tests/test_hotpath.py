@@ -335,7 +335,7 @@ class TestStaleReadRegression:
         post-RD scatter.  finish() must re-validate the captured group and
         fall back to the index — which, the MM/Delete phases having run,
         answers NOT_FOUND exactly like the plain path."""
-        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 12)
+        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 12, heap="slab")
         store.attach_hot_cache(64)
         engine = engine_factory()
         value = b"v" * 8000  # 8 KiB slab class: 128 chunks in the budget
@@ -364,7 +364,7 @@ class TestStaleReadRegression:
 
     def test_slab_eviction_invalidates_snapshot(self):
         """A key evicted by the slab LRU must stop being cache-served."""
-        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 16)
+        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 16, heap="slab")
         cache = store.attach_hot_cache(64)
         store.set(b"victim-00000", b"v")
         cache.admit(b"victim-00000", b"v")
@@ -452,7 +452,7 @@ class TestShardedHotPath:
         snapshot and answer NOT_FOUND, never the stale value."""
         from repro.kv.sharding import shard_of
 
-        store = ShardedKVStore(2 << 20, 8192, 2)  # 1 MB slab per shard
+        store = ShardedKVStore(2 << 20, 8192, 2, heap="slab")  # 1 MB slab per shard
         store.attach_hot_cache(128)
         engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
         value = b"v" * 8000

@@ -142,6 +142,59 @@ class TestDelete:
         assert len(table) == 0
 
 
+class TestReassign:
+    def test_reassign_moves_entry_in_place(self):
+        table = make_table()
+        table.insert(b"alpha", 7)
+        assert table.reassign_prehashed(*table.probe_cached(b"alpha"), 7, 42)
+        candidates, _ = table.search(b"alpha")
+        assert 42 in candidates
+        assert 7 not in candidates
+        assert len(table) == 1
+
+    def test_reassign_counts_the_insert_delete_pair(self):
+        """One reassign is the paper's one-Insert-one-Delete SET pair."""
+        table = make_table()
+        table.insert(b"k", 1)
+        inserts, deletes = table.stats.inserts, table.stats.deletes
+        assert table.reassign_prehashed(*table.probe_cached(b"k"), 1, 2)
+        assert table.stats.inserts == inserts + 1
+        assert table.stats.deletes == deletes + 1
+        assert table.stats.reassigns == 1
+
+    def test_reassign_missing_entry_returns_false(self):
+        table = make_table()
+        table.insert(b"k", 1)
+        stats_before = (table.stats.inserts, table.stats.deletes)
+        assert not table.reassign_prehashed(*table.probe_cached(b"k"), 999, 2)
+        assert (table.stats.inserts, table.stats.deletes) == stats_before
+        candidates, _ = table.search(b"k")
+        assert candidates == [1]
+
+    def test_reassign_rejects_negative_location(self):
+        table = make_table()
+        table.insert(b"k", 1)
+        with pytest.raises(ConfigurationError):
+            table.reassign_prehashed(*table.probe_cached(b"k"), 1, -3)
+
+    def test_reassign_leaves_signature_colliders_alone(self):
+        """Only the (signature, old_location) entry moves; another entry
+        for the same key at a different location is untouched."""
+        table = make_table()
+        table.insert(b"dup", 1)
+        table.insert(b"dup", 2)
+        assert table.reassign_prehashed(*table.probe_cached(b"dup"), 1, 9)
+        candidates, _ = table.search(b"dup")
+        assert sorted(candidates) == [2, 9]
+
+    def test_scalar_ops_warm_the_probe_cache(self):
+        """Scalar insert/search/delete route through the persistent probe
+        cache, so a populated table serves prehashed batches hash-free."""
+        table = make_table()
+        table.insert(b"warm", 3)
+        assert b"warm" in table._probe_cache
+
+
 class TestDisplacement:
     def test_kicks_preserve_reachability_at_high_load(self):
         table = CuckooHashTable(num_buckets=64, slots_per_bucket=4)

@@ -1,0 +1,608 @@
+"""Log-structured value arena: unit, equivalence, and regression coverage.
+
+Four layers:
+
+* :class:`repro.kv.logarena.LogValueArena` in isolation — bump-pointer
+  allocation, tombstone accounting, jumbo segments, the columnar
+  ``multi_allocate_kv`` fast path, and the two compaction phases (LRU
+  segment victimisation, dead-space rewrite);
+* :class:`KVStore` on the arena — maintenance-driven eviction with index
+  cleanup, and the stale-mapping regression on a failed replace (both
+  heaps);
+* slab-vs-log equivalence — hypothesis GET/SET/DELETE fuzz plus the
+  capacity-saturation parity property (both heaps stop a bulk load at the
+  same item and agree on every stored value);
+* the hot-path regression the arena exists to close — on a log heap a
+  mid-batch SET can never evict a cache-served key, so the revalidation
+  fallback (`HotPathState.revalidations`) must stay at zero under exactly
+  the filler pressure that forces it on the slab.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    BatchPlane,
+    ReferenceEngine,
+    SerialEngine,
+    ShardedEngine,
+    VectorEngine,
+    compile_stage_plan,
+)
+from repro.errors import CapacityError, ConfigurationError
+from repro.kv.logarena import LogValueArena
+from repro.kv.objects import KVObject
+from repro.kv.protocol import Query, QueryType, ResponseStatus
+from repro.kv.sharding import ShardedKVStore
+from repro.kv.slab import SlabAllocator
+from repro.kv.store import KVStore
+from repro.pipeline.functional import FunctionalPipeline
+from repro.pipeline.megakv import megakv_coupled_config
+
+PLAN = compile_stage_plan(megakv_coupled_config())
+
+
+# ------------------------------------------------------------- arena unit
+
+
+class TestArenaBasics:
+    def test_bump_allocation_round_trip(self):
+        arena = LogValueArena(1 << 20, segment_bytes=1 << 12)
+        loc_a, evicted = arena.allocate_kv(b"a", b"alpha")
+        assert evicted is None
+        loc_b, _ = arena.allocate_kv(b"b", b"beta")
+        assert loc_b == loc_a + 1
+        assert arena.get(loc_a).value == b"alpha"
+        assert arena.get(loc_b).value == b"beta"
+        assert loc_a in arena and loc_b in arena
+        assert len(arena) == 2
+        assert arena.num_segments == 1
+        assert arena.live_bytes == len(b"a" b"alpha") + len(b"b" b"beta")
+        assert arena.dead_bytes == 0
+
+    def test_value_materialises_from_segment_bytes(self):
+        arena = LogValueArena(1 << 20, segment_bytes=1 << 12)
+        location, _ = arena.allocate_kv(b"k", b"payload")
+        record = arena.get(location)
+        record._value = None  # drop the write-path cache
+        assert record.value == b"payload"
+
+    def test_tombstone_keeps_bytes_until_compaction(self):
+        arena = LogValueArena(1 << 20, segment_bytes=1 << 12)
+        location, _ = arena.allocate_kv(b"k", b"vvvv")
+        claimed = arena.claimed_bytes
+        record = arena.free(location)
+        assert location not in arena
+        assert arena.live_bytes == 0
+        assert arena.dead_bytes == len(b"k" b"vvvv")
+        # Accounting-only: the segment (and the bytes) are still there.
+        assert arena.claimed_bytes == claimed
+        record._value = None
+        assert record.value == b"vvvv"
+        assert arena.stats.frees == 1
+
+    def test_free_unknown_location_raises(self):
+        arena = LogValueArena(1 << 20)
+        with pytest.raises(CapacityError):
+            arena.free(17)
+
+    def test_jumbo_value_gets_dedicated_segment(self):
+        arena = LogValueArena(1 << 20, segment_bytes=64)
+        small, _ = arena.allocate_kv(b"s", b"x" * 10)
+        jumbo, _ = arena.allocate_kv(b"j", b"y" * 200)
+        assert arena.num_segments == 2
+        assert arena.get(jumbo).value == b"y" * 200
+        # The open head is unaffected: the next small value appends to it.
+        after, _ = arena.allocate_kv(b"t", b"z" * 10)
+        assert arena.get(small).segment is arena.get(after).segment
+        assert arena.num_segments == 2
+
+    def test_oversize_allocation_raises(self):
+        arena = LogValueArena(1 << 10)
+        with pytest.raises(CapacityError):
+            arena.allocate_kv(b"k", b"x" * (1 << 11))
+        assert arena.stats.failed_allocations == 1
+        assert len(arena) == 0 and arena.live_bytes == 0
+
+    def test_kvobject_shim(self):
+        arena = LogValueArena(1 << 20)
+        location, evicted = arena.allocate(KVObject(b"k", b"v"))
+        assert evicted is None
+        assert arena.get(location).value == b"v"
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogValueArena(0)
+        with pytest.raises(ConfigurationError):
+            LogValueArena(1 << 20, segment_bytes=0)
+
+    def test_record_access_matches_kvobject_semantics(self):
+        arena = LogValueArena(1 << 20)
+        location, _ = arena.allocate_kv(b"k", b"v")
+        record = arena.get(location)
+        obj = KVObject(b"k", b"v")
+        for epoch, count in [(1, 1), (1, 3), (2, 2), (2, 1)]:
+            assert record.record_access(epoch, count) == obj.record_access(
+                epoch, count
+            )
+        assert record.signature == obj.signature
+        assert record.size_bytes == obj.size_bytes
+
+
+class TestMultiAllocate:
+    def test_matches_scalar_loop(self):
+        items = [(b"key-%03d" % i, bytes([i]) * (i % 37)) for i in range(100)]
+        bulk = LogValueArena(1 << 20, segment_bytes=256)
+        scalar = LogValueArena(1 << 20, segment_bytes=256)
+        locations = bulk.multi_allocate_kv(
+            [k for k, _ in items], [v for _, v in items]
+        )
+        expected = [scalar.allocate_kv(k, v)[0] for k, v in items]
+        assert locations == expected
+        for (key, value), location in zip(items, locations):
+            record = bulk.get(location)
+            assert record.key == key
+            record._value = None
+            assert record.value == value
+        assert bulk.live_bytes == scalar.live_bytes
+        assert bulk.stats.allocations == scalar.stats.allocations == 100
+
+    def test_run_spans_segments(self):
+        arena = LogValueArena(1 << 20, segment_bytes=100)
+        values = [b"x" * 40] * 10  # 2 per segment, 5 segments
+        arena.multi_allocate_kv([b"k%d" % i for i in range(10)], values)
+        assert arena.num_segments == 5
+
+    def test_jumbo_and_empty_values_inline(self):
+        arena = LogValueArena(1 << 20, segment_bytes=64)
+        keys = [b"a", b"b", b"c", b"d"]
+        values = [b"", b"x" * 200, b"y" * 10, b""]
+        locations = arena.multi_allocate_kv(keys, values)
+        for key, value, location in zip(keys, values, locations):
+            record = arena.get(location)
+            assert record.key == key
+            record._value = None
+            assert record.value == value
+
+    def test_oversize_item_fails_at_position_with_prefix_applied(self):
+        arena = LogValueArena(1 << 10, segment_bytes=256)
+        keys = [b"a", b"b", b"c"]
+        values = [b"x" * 8, b"y" * (1 << 11), b"z" * 8]
+        with pytest.raises(CapacityError):
+            arena.multi_allocate_kv(keys, values)
+        # The earlier item is applied; the failed and later ones are not.
+        assert len(arena) == 1
+        (record,) = arena.objects()
+        assert record.key == b"a"
+        assert arena.live_bytes == len(b"a") + 8
+        # The arena stays consistent for further allocation.
+        location, _ = arena.allocate_kv(b"d", b"w" * 8)
+        assert arena.get(location).value == b"w" * 8
+
+
+class TestCompaction:
+    def test_rewrite_reclaims_dead_space(self):
+        arena = LogValueArena(1 << 20, segment_bytes=256)
+        # 4 values of 64 B fill segment 0 exactly; 4 more open segment 1.
+        locations = arena.multi_allocate_kv(
+            [b"k%d" % i for i in range(8)], [bytes([i]) * 64 for i in range(8)]
+        )
+        assert arena.num_segments == 2
+        arena.free(locations[0])
+        arena.free(locations[1])  # segment 0 now 50% dead (>= 25%)
+        claimed = arena.claimed_bytes
+        evicted = arena.compact()
+        assert evicted == []  # rewrite is not eviction
+        assert arena.dead_bytes == 0
+        assert arena.claimed_bytes <= claimed
+        assert arena.stats.relocations == 2
+        assert arena.stats.segments_dropped == 1
+        assert arena.stats.compactions == 1
+        # Survivors keep their locations and bytes through the move.
+        for i in (2, 3, 4, 5, 6, 7):
+            record = arena.get(locations[i])
+            record._value = None
+            assert record.value == bytes([i]) * 64
+
+    def test_lightly_dead_segments_left_alone(self):
+        arena = LogValueArena(1 << 20, segment_bytes=1 << 12)
+        locations = arena.multi_allocate_kv(
+            [b"key-%03d" % i for i in range(32)], [b"x" * 64] * 32
+        )
+        arena.free(locations[0])  # ~3% dead: below the rewrite threshold
+        assert arena.compact() == []
+        assert arena.stats.relocations == 0
+        assert arena.dead_bytes > 0
+
+    def test_lru_victimisation_settles_budget(self):
+        arena = LogValueArena(1024, segment_bytes=256)
+        # 64 B accounted per record (8 B key + 56 B value), 4 per segment:
+        # 20 records = 5 segments, 1280 live bytes against a 1024 budget.
+        locations = arena.multi_allocate_kv(
+            [b"key-%03d" % i for i in range(20)], [b"v" * 56] * 20
+        )
+        # Touch everything but segment 0's records, making it the LRU.
+        for location in locations[4:]:
+            arena.get(location)
+        evicted = arena.compact()
+        assert {loc for loc, _ in evicted} == set(locations[:4])
+        assert arena.live_bytes <= arena.budget_bytes
+        assert arena.stats.evictions == 4
+        assert arena.stats.compactions == 1
+        for location in locations[:4]:
+            assert arena.get(location) is None
+        for location in locations[4:]:
+            assert arena.get(location) is not None
+        # Evicted records keep their payloads for the caller's bookkeeping.
+        for _loc, record in evicted:
+            assert record.value == b"v" * 56
+
+    def test_needs_maintenance_gate(self):
+        arena = LogValueArena(1024, segment_bytes=256)
+        assert not arena.needs_maintenance
+        locations = arena.multi_allocate_kv(
+            [b"key-%03d" % i for i in range(20)], [b"v" * 56] * 20
+        )
+        assert arena.needs_maintenance  # over budget
+        arena.compact()
+        assert not arena.needs_maintenance
+        # Dead bytes alone re-arm the gate once past the trigger.
+        for location in locations[4:]:
+            if location in arena:
+                arena.free(location)
+        assert arena.needs_maintenance
+
+
+# ----------------------------------------------------------- store on log
+
+
+class TestStoreOnLogArena:
+    def test_set_get_delete_replace(self):
+        store = KVStore(1 << 20, 1024)  # log arena is the default heap
+        assert isinstance(store.heap, LogValueArena)
+        outcome = store.set(b"k", b"v1")
+        assert outcome.evicted is None and outcome.replaced is None
+        assert store.get(b"k") == b"v1"
+        outcome = store.set(b"k", b"v2")
+        assert outcome.evicted is None
+        assert outcome.replaced is not None
+        assert outcome.index_deletes == 1
+        assert store.get(b"k") == b"v2"
+        assert store.delete(b"k") is True
+        assert store.get(b"k") is None
+
+    def test_invalid_heap_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KVStore(1 << 20, 1024, heap="arena")
+
+    def test_heap_instance_passes_through(self):
+        arena = LogValueArena(1 << 16, segment_bytes=1 << 12)
+        store = KVStore(1 << 20, 1024, heap=arena)
+        assert store.heap is arena
+
+    def test_maintenance_evicts_and_cleans_index(self):
+        store = KVStore(
+            1 << 20, 4096, heap=LogValueArena(1 << 16, segment_bytes=1 << 12)
+        )
+        keys = [b"key-%04d" % i for i in range(700)]
+        for key in keys:
+            store.set(key, b"x" * 100)  # 106 B accounted: ~72 KiB live
+        assert store.needs_maintenance
+        deletes_before = store.index.stats.deletes
+        evictions = store.maintenance()
+        assert evictions > 0
+        assert store.heap.live_bytes <= store.heap.budget_bytes
+        # One index Delete per evicted record (the paper's SET pairing,
+        # settled at the barrier), and every eviction fully unmapped.
+        assert store.index.stats.deletes - deletes_before == evictions
+        hits = 0
+        for key in keys:
+            value = store.get(key)
+            if value is None:
+                assert key not in store._key_location
+            else:
+                assert value == b"x" * 100
+                hits += 1
+        assert hits == 700 - evictions
+
+    def test_maintenance_noop_on_slab(self):
+        store = KVStore(1 << 20, 1024, heap="slab")
+        assert not store.needs_maintenance
+        assert store.maintenance(force=True) == 0
+
+    def test_populate_stops_at_index_capacity_on_log(self):
+        store = KVStore(1 << 20, 64)
+        items = [(b"key-%08d" % i, b"x" * 8) for i in range(10000)]
+        stored = store.populate(items)
+        assert 0 < stored < 10000
+
+
+class TestStaleMappingRegression:
+    @pytest.mark.parametrize("heap", ["slab", "log"])
+    def test_failed_replace_drops_mapping(self, heap):
+        store = KVStore(memory_bytes=1 << 20, expected_objects=256, heap=heap)
+        store.set(b"k", b"small")
+        with pytest.raises(CapacityError):
+            store.set(b"k", b"x" * (2 << 20))  # exceeds the whole budget
+        # The old version was freed before the allocation failed: every
+        # reference must be gone, not left dangling at a freed location.
+        assert b"k" not in store._key_location
+        assert store.key_compare(b"k", store.index_search(b"k")) is None
+        assert store.get(b"k") is None
+        # And the store still works for that key afterwards.
+        store.set(b"k", b"fresh")
+        assert store.get(b"k") == b"fresh"
+
+
+class TestSlabGrowPath:
+    def test_full_class_grows_without_eviction(self):
+        slab = SlabAllocator(2 << 20, min_chunk=1 << 16)
+        objs = [KVObject(b"k%02d" % i, b"x" * 60000) for i in range(17)]
+        for obj in objs[:16]:  # exactly one page of 64 KiB chunks
+            slab.allocate(obj)
+        assert slab.claimed_bytes == 1 << 20
+        location, evicted = slab.allocate(objs[16])
+        # The class was full but the budget was not: the class grows a page
+        # and the allocation lands with no eviction.
+        assert evicted is None
+        assert slab.stats.evictions == 0
+        assert slab.claimed_bytes == 2 << 20
+        assert slab.get(location, touch=False) is objs[16]
+
+
+# -------------------------------------------------- slab-vs-log equivalence
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get", "delete"]),
+        st.integers(0, 15),
+        st.binary(max_size=64),
+    ),
+    max_size=120,
+)
+
+
+class TestHeapEquivalence:
+    @given(ops=OPS)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_get_set_delete_fuzz(self, ops):
+        """With no capacity pressure the two heaps are indistinguishable.
+
+        8 MiB funds a slab page for every size class the 0-64 B values
+        can touch, so neither heap ever evicts or rejects.
+        """
+        slab_store = KVStore(8 << 20, 1024, heap="slab")
+        log_store = KVStore(8 << 20, 1024, heap="log")
+        for op, kid, value in ops:
+            key = b"key-%02d" % kid
+            if op == "set":
+                s = slab_store.set(key, value)
+                l = log_store.set(key, value)
+                assert (s.replaced is None) == (l.replaced is None)
+                assert s.evicted is None and l.evicted is None
+            elif op == "get":
+                assert slab_store.get(key) == log_store.get(key)
+            else:
+                assert slab_store.delete(key) == log_store.delete(key)
+        # Compaction must not change observable state either.
+        log_store.heap.compact()
+        for kid in range(16):
+            key = b"key-%02d" % kid
+            assert slab_store.get(key) == log_store.get(key)
+        assert len(slab_store) == len(log_store)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_capacity_saturation_parity(self, data):
+        """Both heaps stop a bulk load at the same item under saturation.
+
+        Small items all land in the 32 B slab class (8 B key + 9-20 B
+        value), far below its chunk count, so neither heap evicts; the
+        poison item exceeds the whole 1 MiB budget, so the slab (its class
+        full-and-empty after the one affordable page went to the small
+        class) and the log (object bigger than the budget) must both
+        raise at exactly its position.
+        """
+        n = data.draw(st.integers(2, 120))
+        poison_at = data.draw(st.integers(1, n - 1))
+        vlens = data.draw(
+            st.lists(st.integers(9, 20), min_size=n, max_size=n)
+        )
+        items = [(b"key-%04d" % i, b"x" * vlens[i]) for i in range(n)]
+        items[poison_at] = (b"poison", b"x" * (2 << 20))
+        slab_store = KVStore(1 << 20, 4096, heap="slab")
+        log_store = KVStore(1 << 20, 4096, heap="log")
+        assert slab_store.populate(items) == poison_at
+        assert log_store.populate(items) == poison_at
+        for key, value in items[:poison_at]:
+            assert slab_store.get(key) == value
+            assert log_store.get(key) == value
+        assert slab_store.get(b"poison") is None
+        assert log_store.get(b"poison") is None
+        assert len(slab_store) == len(log_store) == poison_at
+
+    def test_bulk_set_columns_saturation_parity(self):
+        keys = [b"key-%04d" % i for i in range(64)]
+        values = [b"x" * 8] * 64
+        values[40] = b"x" * (2 << 20)
+        slab_store = KVStore(1 << 20, 4096, heap="slab")
+        log_store = KVStore(1 << 20, 4096, heap="log")
+        assert slab_store.bulk_set_columns(keys, values) == 40
+        assert log_store.bulk_set_columns(keys, values) == 40
+        for key in keys[:40]:
+            assert slab_store.get(key) == log_store.get(key) == b"x" * 8
+
+
+# ------------------------------------------- hot-path regression on log
+
+
+def run_batch(engine, store, queries):
+    """One batch through ``engine``; returns (plane, (status, value) rows)."""
+    plane = BatchPlane(list(queries))
+    engine.run(store, PLAN, plane)
+    return plane, [(r.status, r.value) for r in plane.take_responses()]
+
+
+class TestReassignFusionThroughEngines:
+    """Replace-heavy batches on the log arena settle each SET's
+    Insert+Delete pair as one in-place slot rewrite at MM time
+    (``CuckooHashTable.reassign_prehashed``); results must stay identical
+    to the scalar reference path, which never fuses."""
+
+    @pytest.mark.parametrize("engine_cls", [SerialEngine, VectorEngine])
+    def test_replaces_settle_in_place_with_identical_results(self, engine_cls):
+        store = KVStore(8 << 20, 4096)
+        reference = KVStore(8 << 20, 4096, heap="slab")
+        keys = [f"key-{i:04d}".encode() for i in range(256)]
+        for s in (store, reference):
+            s.populate([(k, b"seed") for k in keys])
+        assert store.index.stats.reassigns == 0
+        batch = [
+            Query(QueryType.SET, k, b"v2-%s" % k) for k in keys
+        ] + [Query(QueryType.GET, k) for k in keys]
+        _, rows = run_batch(engine_cls(), store, batch)
+        _, ref_rows = run_batch(ReferenceEngine(), reference, batch)
+        assert rows == ref_rows
+        # Every SET replaced a prefilled key whose entry was live, so the
+        # whole batch's index writes were fused reassigns.
+        assert store.index.stats.reassigns == len(keys)
+        assert reference.index.stats.reassigns == 0
+
+    def test_fresh_keys_do_not_fuse(self):
+        store = KVStore(8 << 20, 4096)
+        batch = [Query(QueryType.SET, f"new-{i}".encode(), b"v") for i in range(64)]
+        _, rows = run_batch(VectorEngine(), store, batch)
+        assert all(status is ResponseStatus.STORED for status, _ in rows)
+        assert store.index.stats.reassigns == 0
+        assert all(store.get(f"new-{i}".encode()) == b"v" for i in range(64))
+
+    def test_in_batch_duplicate_then_delete_stays_consistent(self):
+        """A SET whose old version is still pending in the same batch falls
+        back to the queued pair; a trailing DELETE leaves no trace."""
+        store = KVStore(8 << 20, 4096)
+        reference = KVStore(8 << 20, 4096, heap="slab")
+        batch = [
+            Query(QueryType.SET, b"dup", b"v1"),
+            Query(QueryType.SET, b"dup", b"v2"),
+            Query(QueryType.GET, b"dup"),
+            Query(QueryType.DELETE, b"dup"),
+            Query(QueryType.GET, b"dup"),
+        ]
+        _, rows = run_batch(VectorEngine(), store, batch)
+        _, ref_rows = run_batch(ReferenceEngine(), reference, batch)
+        assert rows == ref_rows
+        assert store.get(b"dup") is None
+        candidates, _ = store.index.search(b"dup")
+        assert candidates == []
+
+
+class TestNoRevalidationOnLogArena:
+    """The filler pressure that forces mid-batch revalidation on the slab
+    (see ``tests/test_hotpath.py::TestStaleReadRegression``) must never
+    trigger it on the log arena: allocation there cannot evict, so a
+    cache-served key stays valid across every write barrier in the batch.
+    """
+
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [lambda: SerialEngine(dedup=True), lambda: VectorEngine(dedup=True)],
+        ids=["serial", "vector"],
+    )
+    def test_mid_batch_writes_never_stale_served_groups(self, engine_factory):
+        store = KVStore(memory_bytes=1 << 20, expected_objects=1 << 12)
+        store.attach_hot_cache(64)
+        engine = engine_factory()
+        value = b"v" * 8000
+        victim = b"victim-00000"
+        run_batch(engine, store, [Query(QueryType.SET, victim, value)])
+        plane, warm = run_batch(engine, store, [Query(QueryType.GET, victim)] * 4)
+        assert all(row == (ResponseStatus.OK, value) for row in warm)
+        assert store.hot_cache.lookup(victim) == value
+        revalidations = plane.hotpath.revalidations if plane.hotpath else 0
+        for i in range(200):  # same pressure that slab-evicts the victim
+            batch = [Query(QueryType.SET, b"filler-%05d" % i, value)]
+            batch += [Query(QueryType.GET, victim)] * 4
+            plane, rows = run_batch(engine, store, batch)
+            assert all(row == (ResponseStatus.OK, value) for row in rows[1:])
+            assert victim in store._key_location
+            assert plane.hotpath is not None
+            revalidations += plane.hotpath.revalidations
+        assert revalidations == 0
+
+    def test_sharded_merge_never_revalidates(self):
+        from repro.kv.sharding import shard_of
+
+        store = ShardedKVStore(2 << 20, 8192, 2)  # log heap per shard
+        store.attach_hot_cache(128)
+        engine = ShardedEngine(VectorEngine(dedup=True), dedup=True)
+        value = b"v" * 8000
+        victim = b"victim-00000"
+        vshard = shard_of(victim, 2)
+        fillers = [
+            k
+            for k in (b"filler-%05d" % i for i in range(400))
+            if shard_of(k, 2) == vshard
+        ]
+        run_batch(engine, store, [Query(QueryType.SET, victim, value)])
+        for _ in range(2):  # admit, then serve from the shard cache
+            run_batch(engine, store, [Query(QueryType.GET, victim)] * 4)
+        assert store.shards[vshard].hot_cache.lookup(victim) == value
+        revalidations = 0
+        for filler in fillers:
+            batch = [Query(QueryType.SET, filler, value)]
+            batch += [Query(QueryType.GET, victim)] * 4
+            plane, rows = run_batch(engine, store, batch)
+            assert all(row == (ResponseStatus.OK, value) for row in rows[1:])
+            assert victim in store.shards[vshard]._key_location
+            if plane.hotpath is not None:
+                revalidations += plane.hotpath.revalidations
+        assert revalidations == 0
+
+
+class TestEvictionThroughPipelineOnLog:
+    def test_barrier_eviction_generates_correct_responses(self):
+        """Overfilling a log-heap store through the pipeline settles at
+        batch barriers: evicted keys read back NOT_FOUND, survivors keep
+        their bytes, and the arena ends within budget."""
+        store = KVStore(
+            1 << 20,
+            70000,
+            heap=LogValueArena(1 << 20, segment_bytes=1 << 16),
+        )
+        pipeline = FunctionalPipeline(store)
+        config = megakv_coupled_config()
+        keys = [b"key-%06d" % i for i in range(40_000)]
+        for start in range(0, len(keys), 1000):
+            batch = [
+                Query(QueryType.SET, k, b"x" * 24)
+                for k in keys[start : start + 1000]
+            ]
+            result = pipeline.process_batch(config, batch)
+            assert all(
+                r.status is ResponseStatus.STORED for r in result.responses
+            )
+        assert store.heap.stats.evictions > 0
+        assert store.heap.live_bytes <= store.heap.budget_bytes
+        hits = 0
+        for start in range(0, len(keys), 1000):
+            batch = [Query(QueryType.GET, k) for k in keys[start : start + 1000]]
+            result = pipeline.process_batch(config, batch)
+            for response in result.responses:
+                if response.status is ResponseStatus.OK:
+                    assert response.value == b"x" * 24
+                    hits += 1
+                else:
+                    assert response.status is ResponseStatus.NOT_FOUND
+        assert 0 < hits < len(keys)

@@ -162,7 +162,7 @@ class TestEvictionThroughPipeline:
     def test_eviction_generates_correct_responses(self):
         """A tiny store evicts under load; every response stays well-formed
         and evicted keys read back as NOT_FOUND (never stale values)."""
-        store = KVStore(memory_bytes=1 << 20, expected_objects=70000)
+        store = KVStore(memory_bytes=1 << 20, expected_objects=70000, heap="slab")
         pipeline = FunctionalPipeline(store)
         config = megakv_coupled_config()
         keys = [f"key-{i:06d}".encode() for i in range(40_000)]

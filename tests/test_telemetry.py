@@ -394,6 +394,43 @@ class TestInstrumentedSystem:
         assert live_telemetry.registry.get("repro_batch_period_us").count() == 1
 
 
+class TestLogArenaTelemetry:
+    def test_arena_series_and_console_section(self, live_telemetry):
+        from repro.kv.logarena import LogValueArena
+        from repro.kv.store import KVStore
+
+        store = KVStore(
+            1 << 20, 4096, heap=LogValueArena(1 << 16, segment_bytes=1 << 12)
+        )
+        for i in range(700):  # ~72 KiB live against a 64 KiB budget
+            store.set(b"key-%04d" % i, b"x" * 100)
+        assert store.maintenance(force=True) > 0
+        registry = live_telemetry.registry
+        assert registry.get("repro_logarena_live_bytes").value() <= 1 << 16
+        assert registry.get("repro_logarena_dead_bytes").value() >= 0
+        assert registry.get("repro_logarena_compactions_total").value() >= 1
+        text = console_summary(live_telemetry)
+        assert "log arena" in text
+        assert "repro_logarena_live_bytes" in text
+        assert "repro_logarena_dead_bytes" in text
+        assert "repro_logarena_compactions_total" in text
+
+    def test_maintenance_emits_nothing_when_disabled(self):
+        from repro.kv.logarena import LogValueArena
+        from repro.kv.store import KVStore
+
+        telemetry = get_telemetry()
+        assert not telemetry.enabled
+        before = telemetry.registry.snapshot()
+        store = KVStore(
+            1 << 20, 4096, heap=LogValueArena(1 << 16, segment_bytes=1 << 12)
+        )
+        for i in range(700):
+            store.set(b"key-%04d" % i, b"x" * 100)
+        assert store.maintenance(force=True) > 0
+        assert telemetry.registry.snapshot() == before
+
+
 class TestDisabledOverheadPath:
     def test_disabled_system_records_nothing(self):
         from repro import DidoSystem, QueryStream, standard_workload
