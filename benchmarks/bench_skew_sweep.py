@@ -91,6 +91,7 @@ def fresh_store(
     batch_size: int,
     kind: str = "thread",
     heap: str = "log",
+    delta: bool = False,
 ):
     if kind == "proc":
         # Process-per-shard: dedup/hot-cache live inside the workers;
@@ -103,51 +104,75 @@ def fresh_store(
             hot_cache=hot,
             hot_cache_keys=shards * CACHE_BATCHES * batch_size if hot else None,
             heap=heap,
+            delta_index=delta,
         )
         store.populate(stream.populate_items(NUM_KEYS))
         return store
     if shards > 1:
-        store = ShardedKVStore(64 << 20, 2 * NUM_KEYS, shards, heap=heap)
+        store = ShardedKVStore(
+            64 << 20, 2 * NUM_KEYS, shards, heap=heap, delta_index=delta
+        )
     else:
-        store = KVStore(64 << 20, 2 * NUM_KEYS, heap=heap)
+        store = KVStore(64 << 20, 2 * NUM_KEYS, heap=heap, delta_index=delta)
     store.populate(stream.populate_items(NUM_KEYS))
+    if delta and hasattr(store, "maintenance"):
+        store.maintenance(force=True)
     if hot:
         store.attach_hot_cache(CACHE_BATCHES * batch_size)
     return store
 
 
 def contenders(shards: int):
-    """(label, engine factory, shard count, hot, store kind) variants."""
+    """(label, engine factory, shard count, hot, store kind, delta) variants."""
     return [
-        ("serial", lambda: SerialEngine(), 1, False, "thread"),
-        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True, "thread"),
-        ("stealing", lambda: StealingEngine(), 1, False, "thread"),
-        ("stealing-hot", lambda: StealingEngine(dedup=True), 1, True, "thread"),
-        ("vector", lambda: VectorEngine(), 1, False, "thread"),
-        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True, "thread"),
-        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, False, "thread"),
+        ("serial", lambda: SerialEngine(), 1, False, "thread", False),
+        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True, "thread", False),
+        ("stealing", lambda: StealingEngine(), 1, False, "thread", False),
+        (
+            "stealing-hot",
+            lambda: StealingEngine(dedup=True),
+            1,
+            True,
+            "thread",
+            False,
+        ),
+        ("vector", lambda: VectorEngine(), 1, False, "thread", False),
+        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True, "thread", False),
+        # Read-only sweep with the delta index attached: GETs resolve
+        # delta-first, so this column is the no-regression proof for the
+        # lookup path (the write-side wins live in BENCH_write.json).
+        ("vector-delta", lambda: VectorEngine(), 1, False, "thread", True),
+        (
+            "sharded",
+            lambda: ShardedEngine(VectorEngine()),
+            shards,
+            False,
+            "thread",
+            False,
+        ),
         (
             "sharded-hot",
             lambda: ShardedEngine(VectorEngine(dedup=True), dedup=True),
             shards,
             True,
             "thread",
+            False,
         ),
-        ("procshard", lambda: ProcShardEngine(), shards, False, "proc"),
-        ("procshard-hot", lambda: ProcShardEngine(), shards, True, "proc"),
+        ("procshard", lambda: ProcShardEngine(), shards, False, "proc", False),
+        ("procshard-hot", lambda: ProcShardEngine(), shards, True, "proc", False),
     ]
 
 
 def run_engine(
     engine, config, stream, batches, shards, hot, batch_size, warmup,
-    kind="thread", heap="log",
+    kind="thread", heap="log", delta=False,
 ):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
     list covers every batch so identity checks span warmup too.
     """
-    store = fresh_store(stream, shards, hot, batch_size, kind, heap)
+    store = fresh_store(stream, shards, hot, batch_size, kind, heap, delta)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
@@ -180,14 +205,14 @@ def bench_skew(
         heap="slab",
     )
     best: dict[str, float] = {}
-    for label, factory, engine_shards, hot, kind in contenders(shards):
+    for label, factory, engine_shards, hot, kind, delta in contenders(shards):
         if only is not None and label not in only:
             continue
         best[label] = float("inf")
         for _ in range(repeat):
             elapsed, outputs = run_engine(
                 factory(), config, stream, batches, engine_shards, hot,
-                batch_size, warmup, kind, heap,
+                batch_size, warmup, kind, heap, delta,
             )
             if outputs != reference:
                 raise AssertionError(
@@ -205,6 +230,11 @@ def bench_skew(
     if "vector" in best and "procshard" in best:
         # The tentpole's success metric: procshard over single-core vector.
         row["procshard_vs_vector"] = round(best["vector"] / best["procshard"], 3)
+    if "vector" in best and "vector-delta" in best:
+        # Delta-first GET resolution must stay within noise of plain.
+        row["vector_delta_vs_plain"] = round(
+            best["vector"] / best["vector-delta"], 3
+        )
     return row
 
 

@@ -87,35 +87,58 @@ def make_burst_batches(batch_size: int, batches: int):
     return out
 
 
-def fresh_store(stream, shards: int, heap: str, kind: str = "thread"):
+def fresh_store(
+    stream, shards: int, heap: str, kind: str = "thread", delta: bool = False
+):
     if kind == "proc":
-        store = ProcShardStore(64 << 20, 4 * NUM_KEYS, shards, heap=heap)
+        store = ProcShardStore(
+            64 << 20, 4 * NUM_KEYS, shards, heap=heap, delta_index=delta
+        )
     elif shards > 1:
-        store = ShardedKVStore(64 << 20, 4 * NUM_KEYS, shards, heap=heap)
+        store = ShardedKVStore(
+            64 << 20, 4 * NUM_KEYS, shards, heap=heap, delta_index=delta
+        )
     else:
-        store = KVStore(64 << 20, 4 * NUM_KEYS, heap=heap)
+        store = KVStore(64 << 20, 4 * NUM_KEYS, heap=heap, delta_index=delta)
     if stream is not None:
         store.populate(stream.populate_items(NUM_KEYS))
+        if delta and hasattr(store, "maintenance"):
+            # land prefill bindings in the main table so the timed region
+            # starts from the same steady state as the plain contender
+            store.maintenance(force=True)
     return store
 
 
 def contenders(shards: int):
-    """(label, engine factory, shard count, store kind) variants."""
+    """(label, engine factory, shard count, store kind, delta) variants."""
     return [
-        ("serial", lambda: SerialEngine(), 1, "thread"),
-        ("vector", lambda: VectorEngine(), 1, "thread"),
-        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, "thread"),
-        ("procshard", lambda: ProcShardEngine(), shards, "proc"),
+        ("serial", lambda: SerialEngine(), 1, "thread", False),
+        ("vector", lambda: VectorEngine(), 1, "thread", False),
+        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, "thread", False),
+        ("procshard", lambda: ProcShardEngine(), shards, "proc", False),
+        ("serial-delta", lambda: SerialEngine(), 1, "thread", True),
+        ("vector-delta", lambda: VectorEngine(), 1, "thread", True),
+        (
+            "sharded-delta",
+            lambda: ShardedEngine(VectorEngine()),
+            shards,
+            "thread",
+            True,
+        ),
+        ("procshard-delta", lambda: ProcShardEngine(), shards, "proc", True),
     ]
 
 
-def run_engine(engine, config, stream, batches, shards, heap, warmup, kind="thread"):
+def run_engine(
+    engine, config, stream, batches, shards, heap, warmup, kind="thread",
+    delta=False,
+):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
     list covers every batch so identity checks span warmup too.
     """
-    store = fresh_store(stream, shards, heap, kind)
+    store = fresh_store(stream, shards, heap, kind, delta)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
@@ -152,14 +175,14 @@ def bench_mix(
         "log": {},
     }
     for heap in HEAPS:
-        for name, factory, engine_shards, kind in contenders(shards):
+        for name, factory, engine_shards, kind, delta in contenders(shards):
             if only is not None and name not in only:
                 continue
             best = float("inf")
             for _ in range(repeat):
                 elapsed, outputs = run_engine(
                     factory(), config, stream, batches, engine_shards, heap,
-                    warmup, kind,
+                    warmup, kind, delta,
                 )
                 if outputs != reference:
                     raise AssertionError(
@@ -245,6 +268,21 @@ def main(argv: list[str] | None = None) -> int:
                 burst_row["log"][f"{name}_qps"] / burst_row["slab"][f"{name}_qps"],
                 3,
             )
+        if name.endswith("-delta"):
+            # Delta-index speedup over the same backend's per-op index
+            # updates on the log heap; G0 and the fresh-key burst are the
+            # write-absorption headline (target >= 1.3x on vector).
+            base = name[: -len("-delta")]
+            for mix_label, key in (("G0", "g0"), ("burst", "burst")):
+                mix_row = by_mix.get(mix_label)
+                if mix_row and mix_row["log"].get(f"{base}_qps") and mix_row[
+                    "log"
+                ].get(f"{name}_qps"):
+                    summary[f"{base}_delta_over_plain_{key}"] = round(
+                        mix_row["log"][f"{name}_qps"]
+                        / mix_row["log"][f"{base}_qps"],
+                        3,
+                    )
 
     payload = {
         "workload": "K16 write-path sweep (G100/G95/G50/G0 + burst)",
@@ -267,7 +305,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _print_row(row):
     parts = [f"{row['mix']:<5}"]
-    for name in ("serial", "vector", "sharded", "procshard"):
+    for name in (
+        "serial", "vector", "sharded", "procshard",
+        "serial-delta", "vector-delta", "sharded-delta", "procshard-delta",
+    ):
         slab = row["slab"].get(f"{name}_qps")
         log = row["log"].get(f"{name}_qps")
         if slab and log:

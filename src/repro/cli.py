@@ -230,6 +230,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         dedup=args.dedup,
         hot_cache=args.hot_cache,
         heap=args.heap,
+        delta_index=args.delta_index,
     )
     server = DidoUDPServer(
         (args.host, args.port),
@@ -312,6 +313,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     serve_args += ["--shards", str(args.shards)]
     serve_args += ["--batch-size", str(args.batch_size)]
     serve_args += ["--heap", args.heap]
+    if args.delta_index:
+        serve_args.append("--delta-index")
     if args.dedup:
         serve_args.append("--dedup")
     if args.hot_cache:
@@ -423,6 +426,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         dedup=args.dedup,
         hot_cache=args.hot_cache,
         heap=args.heap,
+        delta_index=args.delta_index,
     )
     for label in _TELEMETRY_PHASES:
         stream = QueryStream(standard_workload(label), num_keys=6_000, seed=3)
@@ -516,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--heap", choices=("log", "slab"), default="log",
         help="value heap: append-only log arena (default) or slab allocator",
     )
+    p.add_argument(
+        "--delta-index", action="store_true",
+        help="absorb index updates in a delta table, merged in bulk at barriers",
+    )
     p.add_argument("--telemetry-out", metavar="PATH", help="write a JSONL telemetry trace")
     cluster_group = p.add_argument_group("cluster membership (spawned by `repro cluster`)")
     cluster_group.add_argument(
@@ -562,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--heap", choices=("log", "slab"), default="log",
         help="value heap for every node (default: log)",
+    )
+    p.add_argument(
+        "--delta-index", action="store_true",
+        help="absorb index updates in a delta table on every node",
     )
     p.set_defaults(func=cmd_cluster)
 
@@ -635,6 +647,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--heap", choices=("log", "slab"), default="log",
         help="value heap: append-only log arena (default) or slab allocator",
+    )
+    p.add_argument(
+        "--delta-index", action="store_true",
+        help="absorb index updates in a delta table, merged in bulk at barriers",
     )
     p.set_defaults(func=cmd_telemetry)
 

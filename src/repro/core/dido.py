@@ -92,6 +92,11 @@ class DidoSystem:
         Value heap kind for every store this system creates: ``"log"``
         (default — append-only arena, compacted from :meth:`maintain`) or
         ``"slab"`` (size-classed allocator with per-SET LRU eviction).
+    delta_index:
+        Absorb index Insert/Delete/Reassign traffic in a per-store
+        :class:`~repro.kv.deltaindex.DeltaIndex` and merge it into the
+        cuckoo table in bulk at write barriers and :meth:`maintain` ticks
+        (per shard / per worker on partitioned stores).
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class DidoSystem:
         hot_cache: bool = False,
         hot_cache_keys: int | None = None,
         heap: str = "log",
+        delta_index: bool = False,
     ):
         self.platform = platform
         budget = memory_bytes if memory_bytes is not None else platform.shared_memory_bytes
@@ -133,9 +139,12 @@ class DidoSystem:
                 # gate once the profiler has seen a window.
                 hot_cache_active=False,
                 heap=heap,
+                delta_index=delta_index,
             )
         elif shards > 1:
-            self.store = ShardedKVStore(budget, expected_objects, shards, heap=heap)
+            self.store = ShardedKVStore(
+                budget, expected_objects, shards, heap=heap, delta_index=delta_index
+            )
             if engine is None or engine == "auto":
                 engine = "sharded"
             elif engine != "sharded" and not hasattr(engine, "run"):
@@ -144,7 +153,9 @@ class DidoSystem:
                     "use engine='sharded' (or shards=1)"
                 )
         else:
-            self.store = KVStore(budget, expected_objects, heap=heap)
+            self.store = KVStore(
+                budget, expected_objects, heap=heap, delta_index=delta_index
+            )
         self._hot_caches = []
         if hot_cache and not self._procshard:
             if isinstance(self.store, ShardedKVStore):

@@ -152,6 +152,7 @@ class _WorkerState:
             config["memory_bytes"],
             config["expected_objects"],
             heap=config.get("heap", "log"),
+            delta_index=bool(config.get("delta_index")),
         )
         if config.get("hot_cache"):
             cache = self.store.attach_hot_cache(config.get("hot_cache_keys"))
@@ -495,6 +496,7 @@ class ProcShardStore:
         ring_bytes: int = DEFAULT_RING_BYTES,
         start_method: str | None = None,
         heap: str = "log",
+        delta_index: bool = False,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -521,6 +523,7 @@ class ProcShardStore:
             "hot_cache_active": hot_cache_active,
             "inner": inner,
             "heap": heap,
+            "delta_index": delta_index,
         }
         self.dedup = dedup
         self.workers = [

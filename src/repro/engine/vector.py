@@ -189,6 +189,36 @@ class VectorEngine(SerialEngine):
         hit_locs = scratch.hit_locs
         qtypes = plane.qtypes
         get_type = QueryType.GET
+        delta = getattr(store, "delta_index", None)
+        if delta is not None and len(delta):
+            # Delta pre-filter: one searchsorted against the delta's sorted
+            # signature column finds the rows that *might* live in the
+            # delta; only those pay a dict lookup.  Resolved rows (hits and
+            # tombstones alike) never touch the main mirror — their bucket
+            # reads are zero, matching the scalar delta-first path.
+            column = delta.signature_column()
+            if column is not None and column.size:
+                pos = np.searchsorted(column, signatures)
+                pos[pos == column.size] = 0
+                maybe = column[pos] == signatures
+                if maybe.any():
+                    lookup = delta.lookup
+                    resolved_local: list[int] = []
+                    for local in np.nonzero(maybe)[0].tolist():
+                        row = int(plane_rows[local])
+                        hit = lookup(keys[row])
+                        if hit is None:
+                            # Signature collision with a main-only key.
+                            continue
+                        resolved_local.append(local)
+                        if hit and qtypes[row] is get_type:
+                            hit_rows.append(row)
+                            hit_locs.append(hit[0])
+                    if resolved_local:
+                        reads[resolved_local] = 0
+                        keep = np.ones(n, dtype=bool)
+                        keep[resolved_local] = False
+                        remaining = remaining[keep]
         for probe in range(num_hashes):
             if remaining.size == 0:
                 break

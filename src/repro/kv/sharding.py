@@ -119,6 +119,9 @@ class ShardedKVStore:
     heap:
         Per-shard value heap kind (``"log"``/``"slab"``), forwarded to
         each shard's :class:`KVStore`.
+    delta_index:
+        Attach a write-absorbing delta index to every shard (each merges
+        into its own cuckoo table at its own barrier).
     """
 
     def __init__(
@@ -128,6 +131,7 @@ class ShardedKVStore:
         num_shards: int,
         num_hashes: int = 2,
         heap: str = "log",
+        delta_index: bool = False,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -142,11 +146,24 @@ class ShardedKVStore:
                 max(64, expected_objects // num_shards),
                 num_hashes=num_hashes,
                 heap=heap,
+                delta_index=delta_index,
             )
             for _ in range(num_shards)
         ]
         self._index_view = _MergedIndexView(self.shards)
         self._heap_view = _MergedHeapView(self.shards)
+
+    def attach_delta_index(self, merge_threshold: int | None = None):
+        """Attach a write-absorbing delta index to every shard; returns the list.
+
+        Per-shard deltas merge independently — the sharded engine runs one
+        inner engine per shard against that shard's store, and the shard's
+        own barrier (:meth:`maintenance`) lands the merge.
+        """
+        return [
+            shard.attach_delta_index(merge_threshold=merge_threshold)
+            for shard in self.shards
+        ]
 
     def attach_hot_cache(self, capacity: int | None = None):
         """Attach a hot-key read cache to every shard; returns the list.

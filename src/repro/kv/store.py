@@ -17,6 +17,7 @@ pipeline runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigurationError
@@ -93,6 +94,11 @@ class KVStore:
         tombstoned deletes, barrier-time compaction), ``"slab"`` for the
         size-classed :class:`~repro.kv.slab.SlabAllocator` with per-SET
         LRU eviction, or an allocator instance with the same interface.
+    delta_index:
+        When true, attach a write-absorbing
+        :class:`~repro.kv.deltaindex.DeltaIndex`: Insert/Delete/Reassign
+        traffic collects there between write barriers and merges into the
+        cuckoo table in bulk; Searches resolve delta-first, then main.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class KVStore:
         num_hashes: int = 2,
         index=None,
         heap: str | object = "log",
+        delta_index: bool = False,
     ):
         buckets = max(64, int(expected_objects / 2))
         if index is None:
@@ -128,6 +135,13 @@ class KVStore:
         #: paths (allocate/delete) keep it coherent, the engines' hot path
         #: serves GETs from it when it is attached and gated active.
         self.hot_cache = None
+        #: Optional :class:`~repro.kv.deltaindex.DeltaIndex` (public so the
+        #: vector engine's Search pass can pre-filter against it); ``_delta``
+        #: is the same object, bound separately for the hot-path guards.
+        self.delta_index = None
+        self._delta = None
+        if delta_index:
+            self.attach_delta_index()
 
     def attach_hot_cache(self, capacity: int | None = None):
         """Create and attach a hot-key read cache; returns it."""
@@ -136,6 +150,41 @@ class KVStore:
         self.hot_cache = HotKeyCache(capacity or DEFAULT_CAPACITY)
         return self.hot_cache
 
+    def attach_delta_index(
+        self,
+        merge_threshold: int | None = None,
+        capacity: int | None = None,
+        max_age_s: float | None = None,
+    ):
+        """Create and attach a write-absorbing delta index; returns it.
+
+        Requires an index exposing the prehashed bulk interface
+        (:meth:`~repro.kv.hashtable.CuckooHashTable.bulk_probe` /
+        ``bulk_apply_prehashed`` / ``forget_probes``); raises
+        :class:`~repro.errors.ConfigurationError` otherwise.
+        """
+        from repro.kv.deltaindex import (
+            DEFAULT_CAPACITY,
+            DEFAULT_MAX_AGE_S,
+            DEFAULT_MERGE_THRESHOLD,
+            DeltaIndex,
+        )
+
+        index = self.index
+        for attr in ("bulk_probe", "bulk_apply_prehashed", "forget_probes"):
+            if not hasattr(index, attr):
+                raise ConfigurationError(
+                    "the delta index requires an index with the bulk "
+                    f"prehashed interface (missing {attr!r})"
+                )
+        self._delta = self.delta_index = DeltaIndex(
+            index,
+            merge_threshold or DEFAULT_MERGE_THRESHOLD,
+            capacity or DEFAULT_CAPACITY,
+            DEFAULT_MAX_AGE_S if max_age_s is None else max_age_s,
+        )
+        return self._delta
+
     def __len__(self) -> int:
         return len(self._key_location)
 
@@ -143,7 +192,15 @@ class KVStore:
     # These are what the pipeline's fine-grained tasks call.
 
     def index_search(self, key: bytes) -> list[int]:
-        """IN/Search: candidate locations by signature."""
+        """IN/Search: candidate locations by signature (delta-first)."""
+        delta = self._delta
+        if delta is not None:
+            hit = delta.lookup(key)
+            if hit is not None:
+                # A delta hit is still one Search; it just costs no bucket
+                # reads (the binding is exact, KC verifies as usual).
+                self.index.stats.searches += 1
+                return hit
         candidates, _ = self.index.search(key)
         return candidates
 
@@ -215,11 +272,34 @@ class KVStore:
         )
 
     def index_insert(self, key: bytes, location: int) -> int:
-        """IN/Insert: add the new entry; returns buckets written."""
+        """IN/Insert: add the new entry; returns buckets written.
+
+        With a delta attached the insert is absorbed there (zero bucket
+        writes now; the merge settles it in bulk).
+        """
+        delta = self._delta
+        if delta is not None:
+            delta.insert(key, location)
+            if delta.overflowed:
+                self._merge_delta()
+            return 0
         return self.index.insert(key, location)
 
     def index_delete(self, key: bytes, location: int | None = None) -> bool:
-        """IN/Delete: drop an index entry (for evicted/replaced/deleted keys)."""
+        """IN/Delete: drop an index entry (for evicted/replaced/deleted keys).
+
+        With a delta attached the delete is absorbed as a tombstone; the
+        rare location-less delete of a key unknown to the delta applies to
+        the main table synchronously (the delta cannot express "remove any
+        signature match").
+        """
+        delta = self._delta
+        if delta is not None:
+            absorbed = delta.delete(key, location)
+            if absorbed is not None:
+                if delta.overflowed:
+                    self._merge_delta()
+                return bool(absorbed)
         return self.index.delete(key, location)
 
     # ------------------------------------------------------- bulk primitives
@@ -237,7 +317,37 @@ class KVStore:
     # scalar operations, so the engine works against any index.
 
     def multi_index_search(self, keys: list[bytes]) -> list[list[int]]:
-        """Bulk IN/Search: candidate locations per key, in input order."""
+        """Bulk IN/Search: candidate locations per key, in input order.
+
+        Delta-resident keys resolve from the delta (exact, zero bucket
+        reads); only the misses touch the main table.
+        """
+        delta = self._delta
+        if delta is not None and len(delta):
+            lookup = delta.lookup
+            out: list[list[int] | None] = [None] * len(keys)
+            miss_keys: list[bytes] = []
+            miss_pos: list[int] = []
+            for i, key in enumerate(keys):
+                hit = lookup(key)
+                if hit is None:
+                    miss_keys.append(key)
+                    miss_pos.append(i)
+                else:
+                    out[i] = hit
+            delta_hits = len(keys) - len(miss_keys)
+            if delta_hits:
+                self.index.stats.searches += delta_hits
+            if miss_keys:
+                multi = getattr(self.index, "multi_search", None)
+                if multi is not None:
+                    found = multi(miss_keys)
+                else:
+                    search = self.index.search
+                    found = [search(key)[0] for key in miss_keys]
+                for pos, candidates in zip(miss_pos, found):
+                    out[pos] = candidates
+            return out
         multi = getattr(self.index, "multi_search", None)
         if multi is not None:
             return multi(keys)
@@ -413,13 +523,38 @@ class KVStore:
             def discard(location):
                 return heap_free(location) if heap_contains(location) else None
 
+        cache = self.hot_cache
+        on_write = cache.on_write if cache is not None else None
+        delta = self._delta
+        if delta is not None:
+            # Eager absorb: the whole SET run's index traffic lands in the
+            # delta right here at MM time — no probe specs, no per-op
+            # bucket scans — and every row reports settled, so the Insert
+            # phase has nothing to queue.  Stage plans keep MM ahead of the
+            # IN phase and sort Delete before Insert before Search inside
+            # it, so absorbing at MM is observationally identical to
+            # absorbing at the Insert phase (the same ordering argument
+            # that lets ``reassign_prehashed`` settle pairs at MM).
+            absorb_insert = delta.insert
+            absorb_assign = delta.assign
+            for key, value, location in zip(keys, values, locations):
+                old_location = key_location_get(key)
+                if old_location is not None and discard(old_location) is not None:
+                    absorb_assign(key, old_location, location)
+                else:
+                    absorb_insert(key, location)
+                key_location[key] = location
+                if on_write is not None:
+                    on_write(key, value)
+            if delta.overflowed:
+                self._merge_delta()
+            n = len(keys)
+            return locations, [None] * n, [True] * n
         index = self.index
         probe = getattr(index, "probe_cached", None)
         reassign = (
             getattr(index, "reassign_prehashed", None) if probe is not None else None
         )
-        cache = self.hot_cache
-        on_write = cache.on_write if cache is not None else None
         replaced: list[int | None] = []
         settled: list[bool] = []
         rappend = replaced.append
@@ -445,6 +580,14 @@ class KVStore:
 
     def multi_index_insert(self, entries: list[tuple[bytes, int]]) -> int:
         """Bulk IN/Insert: apply entries in order; returns buckets written."""
+        delta = self._delta
+        if delta is not None:
+            absorb = delta.insert
+            for key, location in entries:
+                absorb(key, location)
+            if delta.overflowed:
+                self._merge_delta()
+            return 0
         index = self.index
         probe = getattr(index, "probe_cached", None)
         if probe is None:
@@ -459,6 +602,24 @@ class KVStore:
 
     def multi_index_delete(self, entries: list[tuple[bytes, int | None]]) -> int:
         """Bulk IN/Delete: apply entries in order; returns entries removed."""
+        delta = self._delta
+        if delta is not None:
+            absorb = delta.delete
+            index_delete = self.index.delete
+            removed = 0
+            for key, location in entries:
+                absorbed = absorb(key, location)
+                if absorbed is None:
+                    # Location-less delete of a key the delta has never
+                    # seen: apply to main synchronously (rare; the engine
+                    # paths always supply locations).
+                    if index_delete(key, location):
+                        removed += 1
+                elif absorbed:
+                    removed += 1
+            if delta.overflowed:
+                self._merge_delta()
+            return removed
         index = self.index
         probe = getattr(index, "probe_cached", None)
         if probe is None:
@@ -514,32 +675,101 @@ class KVStore:
 
     @property
     def needs_maintenance(self) -> bool:
-        """Cheap barrier gate: does the heap want a compaction pass?
+        """Cheap barrier gate: delta merge due, or heap wants compaction?
 
-        Always ``False`` on a slab heap (it reclaims inline, per SET).
+        The heap half is always ``False`` on a slab heap (it reclaims
+        inline, per SET); the delta half fires on the size/age threshold.
         """
+        delta = self._delta
+        if delta is not None and delta.wants_merge():
+            return True
         if self._heap_compact is None:
             return False
         return self.heap.needs_maintenance
 
-    def maintenance(self, force: bool = False) -> int:
-        """Run one heap compaction pass at a batch barrier; returns evictions.
+    def _merge_delta(self) -> int:
+        """Merge the delta into the main table in one bulk apply.
 
-        Log-arena only (a no-op on the slab, which never defers work).
-        Compaction evicts whole least-recently-touched segments while the
-        live set exceeds the budget; every evicted record gets its index
-        Delete, key-location unmapping and hot-cache invalidation here —
-        the aggregate settlement of the paper's one-Insert-one-Delete SET
-        accounting (§II-C2).  ``force`` lowers the trigger to "at least a
-        segment's worth of dead bytes" for the server's idle tick, where
-        the scan costs nothing anyone is waiting on.
+        Every delta key is hashed in one vectorized pass and, when the
+        signature mirror is attached, the whole plan stays columnar
+        (:meth:`~repro.kv.deltaindex.DeltaIndex.merge_columns` into
+        ``bulk_apply_columns``) — no per-row tuples, so a merge does not
+        flood the garbage collector.  Without a mirror the tuple-form
+        ``merge_rows``/``bulk_apply_prehashed`` path applies the same ops
+        scalar.  Merged keys' probe-cache entries are invalidated so
+        nothing resolves against a pre-merge spec.  The delta resets only after the apply succeeds: a
+        :class:`~repro.errors.CapacityError` mid-apply leaves every
+        binding still resolvable delta-first, so responses stay correct.
+        Returns the number of ops applied.
         """
+        delta = self._delta
+        if delta is None or delta.pending_ops == 0:
+            return 0
+        started = time.perf_counter_ns()
+        index = self.index
+        plan = None
+        if index.mirror is not None:
+            plan = delta.merge_columns()
+        if plan is not None:
+            keys, signatures, buckets, classes = plan
+            index.bulk_apply_columns(signatures, buckets, classes)
+            merged = len(classes[0]) + len(classes[2]) + len(classes[5])
+        else:
+            deletes, reassigns, inserts, keys = delta.merge_rows()
+            index.bulk_apply_prehashed(deletes, reassigns, inserts)
+            merged = len(deletes) + len(reassigns) + len(inserts)
+        index.forget_probes(keys)
+        delta.finish_merge(merged)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            registry = telemetry.registry
+            registry.counter(
+                "repro_delta_merges_total",
+                help="Delta-index merges applied to the main cuckoo table",
+            ).inc()
+            registry.histogram(
+                "repro_delta_merge_ns",
+                help="Wall time of one delta-index merge (ns)",
+            ).observe(time.perf_counter_ns() - started)
+            registry.gauge(
+                "repro_delta_index_size",
+                help="Keys currently absorbed in the delta index",
+            ).set(0)
+        return merged
+
+    def maintenance(self, force: bool = False) -> int:
+        """Run barrier work: delta merge, then heap compaction; returns evictions.
+
+        The delta (when attached) merges first whenever its size/age
+        threshold is hit — or whenever it is non-empty under ``force``
+        (the server's idle tick) — so compaction-generated index Deletes
+        land in a fresh delta and searches never outlive a stale binding.
+
+        Compaction is log-arena only (a no-op on the slab, which never
+        defers work).  It evicts whole least-recently-touched segments
+        while the live set exceeds the budget; every evicted record gets
+        its index Delete, key-location unmapping and hot-cache
+        invalidation here — the aggregate settlement of the paper's
+        one-Insert-one-Delete SET accounting (§II-C2).  ``force`` lowers
+        the trigger to "at least a segment's worth of dead bytes" for the
+        server's idle tick, where the scan costs nothing anyone is
+        waiting on.
+        """
+        telemetry = get_telemetry()
+        registry = telemetry.registry if telemetry.enabled else None
+        delta = self._delta
+        if delta is not None:
+            if registry is not None:
+                registry.gauge(
+                    "repro_delta_index_size",
+                    help="Keys currently absorbed in the delta index",
+                ).set(len(delta))
+            if delta.wants_merge() or (force and delta.pending_ops):
+                self._merge_delta()
         compact = self._heap_compact
         if compact is None:
             return 0
         heap = self.heap
-        telemetry = get_telemetry()
-        registry = telemetry.registry if telemetry.enabled else None
         if registry is not None:
             registry.gauge(
                 "repro_logarena_live_bytes",

@@ -153,6 +153,10 @@ class DidoUDPServer:
         Value heap kind ("log"/"slab") for the default-created system
         (ignored when an explicit ``system`` is passed).  The log arena's
         compaction rides the server's 0.5 s maintenance tick.
+    delta_index:
+        Attach the write-absorbing delta index to the default-created
+        system (ignored when an explicit ``system`` is passed).  Deltas
+        merge at batch barriers and on the same 0.5 s maintenance tick.
     """
 
     def __init__(
@@ -169,6 +173,7 @@ class DidoUDPServer:
         dedup: bool = False,
         hot_cache: bool = False,
         heap: str = "log",
+        delta_index: bool = False,
     ):
         if coalesce_us is not None:
             if coalesce_us < 0:
@@ -193,6 +198,7 @@ class DidoUDPServer:
             dedup=dedup,
             hot_cache=hot_cache,
             heap=heap,
+            delta_index=delta_index,
         )
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         try:

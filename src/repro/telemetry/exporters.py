@@ -229,6 +229,15 @@ LOGARENA_SERIES = (
     "repro_logarena_compactions_total",
 )
 
+#: Delta-index health: pending keys, merges landed, and the per-merge
+#: wall-time histogram (see ``--delta-index`` and
+#: :meth:`repro.kv.store.KVStore.maintenance`).
+DELTA_SERIES = (
+    "repro_delta_index_size",
+    "repro_delta_merges_total",
+    "repro_delta_merge_ns",
+)
+
 
 def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
     """Human-readable digest: metric totals, coalescing gauges, recent events."""
@@ -272,6 +281,24 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
             for labels, value in sorted(snapshot[name]["samples"].items()):
                 label_text = f"{{{labels}}}" if labels else ""
                 lines.append(f"  {name}{label_text}: {value:g}")
+    delta = [name for name in DELTA_SERIES if name in snapshot]
+    if delta:
+        lines.append("")
+        lines.append("delta index")
+        for name in delta:
+            entry = snapshot[name]
+            if entry["kind"] == "histogram":
+                for labels, slot in sorted(entry["samples"].items()):
+                    mean = slot["sum"] / slot["count"] if slot["count"] else 0.0
+                    label_text = f"{{{labels}}}" if labels else ""
+                    lines.append(
+                        f"  {name}{label_text}: n={slot['count']} "
+                        f"mean={mean / 1e3:.1f}us"
+                    )
+            else:
+                for labels, value in sorted(entry["samples"].items()):
+                    label_text = f"{{{labels}}}" if labels else ""
+                    lines.append(f"  {name}{label_text}: {value:g}")
     events = telemetry.events.snapshot()
     replans = [e for e in events if e.kind == "replan"]
     lines.append("")

@@ -1,0 +1,351 @@
+"""Delta index: absorption semantics, merge correctness, mirror coherence.
+
+Covers the FliX-style flipped-indexing layer (`repro.kv.deltaindex`):
+entry lifecycle and tri-state deletes, merge triggers (size / age /
+overflow), post-merge probe-cache honesty, the column- and tuple-form
+bulk apply paths landing identical tables, signature-mirror == table
+coherence after randomized op soups, and the `--delta-index` telemetry
+series showing up in the console exporter.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kv.deltaindex import TOMBSTONE, DeltaIndex
+from repro.kv.store import KVStore
+from repro.telemetry import configure, console_summary, get_telemetry
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy required")
+
+
+def fresh_store(heap="slab", delta=True, **delta_kw):
+    store = KVStore(memory_bytes=8 << 20, expected_objects=4096, heap=heap)
+    if delta:
+        store.attach_delta_index(**delta_kw)
+    return store
+
+
+@pytest.fixture
+def live_telemetry():
+    telemetry = configure(enabled=True)
+    telemetry.reset()
+    yield telemetry
+    configure(enabled=False)
+
+
+# ------------------------------------------------------------ absorption
+
+
+class TestAbsorption:
+    def make(self, **kw):
+        store = KVStore(memory_bytes=1 << 20, expected_objects=512)
+        return DeltaIndex(store.index, **kw)
+
+    def test_lookup_tristate(self):
+        delta = self.make()
+        assert delta.lookup(b"ghost") is None  # unknown: fall through to main
+        delta.insert(b"k", 7)
+        assert delta.lookup(b"k") == [7]
+        assert delta.delete(b"k") is True
+        assert delta.lookup(b"k") == []  # tombstone suppresses main
+
+    def test_born_and_died_entries_merge_to_nothing(self):
+        delta = self.make()
+        delta.insert(b"k", 7)
+        delta.delete(b"k")
+        deletes, reassigns, inserts, keys = delta.merge_rows()
+        assert (deletes, reassigns, inserts) == ([], [], [])
+        assert keys == [b"k"]
+
+    def test_resets_collapse_onto_one_entry(self):
+        delta = self.make()
+        delta.assign(b"k", 3, 5)
+        delta.insert(b"k", 9)  # re-set between merges
+        assert len(delta) == 1
+        assert delta.lookup(b"k") == [9]
+        deletes, reassigns, inserts, _ = delta.merge_rows()
+        # main_old survives the collapse: the merge still retires slot 3
+        assert deletes == [] and inserts == []
+        [(sig, buckets, old, new)] = reassigns
+        assert (old, new) == (3, 9)
+
+    def test_delete_unknown_key_without_location_is_not_absorbed(self):
+        delta = self.make()
+        assert delta.delete(b"k") is None  # caller must hit main synchronously
+        assert delta.pending_ops == 0
+
+    def test_delete_unknown_key_with_location_tombstones(self):
+        delta = self.make()
+        assert delta.delete(b"k", 11) is True
+        [(sig, buckets, old)] = delta.merge_rows()[0]
+        assert old == 11
+
+    def test_mismatched_delete_queues_orphan(self):
+        delta = self.make()
+        delta.assign(b"k", 3, 5)
+        assert delta.delete(b"k", 42) is False  # neither final nor main_old
+        assert delta.stats.orphan_deletes == 1
+        deletes, reassigns, _, keys = delta.merge_rows()
+        assert [row[2] for row in deletes] == [42]
+        assert len(reassigns) == 1  # the tracked binding still merges
+        assert keys.count(b"k") == 2
+
+    def test_wants_merge_size_trigger(self):
+        delta = self.make(merge_threshold=2)
+        delta.insert(b"a", 1)
+        assert not delta.wants_merge()
+        delta.insert(b"b", 2)
+        assert delta.wants_merge()
+
+    def test_wants_merge_age_trigger(self):
+        delta = self.make(merge_threshold=1 << 30, max_age_s=0.0)
+        assert not delta.wants_merge()  # empty: never
+        delta.insert(b"a", 1)
+        assert delta.wants_merge()  # age 0 → any non-empty delta is due
+
+    def test_finish_merge_resets_everything(self):
+        delta = self.make()
+        delta.insert(b"a", 1)
+        delta.merge_rows()
+        delta.finish_merge(1)
+        assert len(delta) == 0
+        assert delta.pending_ops == 0
+        assert not delta.wants_merge()
+        assert delta.stats.merges == 1
+
+
+# ---------------------------------------------------------- store plumbing
+
+
+class TestStoreDelta:
+    def test_ctor_flag_attaches(self):
+        store = KVStore(memory_bytes=1 << 20, expected_objects=512, delta_index=True)
+        assert store.delta_index is not None
+
+    def test_attach_requires_bulk_capable_index(self):
+        store = KVStore(memory_bytes=1 << 20, expected_objects=512)
+        store.index = object()  # no bulk_apply_prehashed
+        with pytest.raises(ConfigurationError):
+            store.attach_delta_index()
+
+    @pytest.mark.parametrize("heap", ["slab", "log"])
+    def test_scalar_ops_identical_with_delta(self, heap):
+        ref = fresh_store(heap=heap, delta=False)
+        dut = fresh_store(heap=heap, merge_threshold=16)
+        rng = random.Random(5)
+        keys = [b"k%03d" % i for i in range(80)]
+        for step in range(1500):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.5:
+                value = b"v%06d" % step
+                dut_out, ref_out = dut.set(key, value), ref.set(key, value)
+                assert (dut_out.replaced is None) == (ref_out.replaced is None)
+            elif roll < 0.7:
+                assert dut.delete(key) == ref.delete(key)
+            else:
+                assert dut.get(key) == ref.get(key)
+            if dut.needs_maintenance:
+                dut.maintenance()
+            if ref.needs_maintenance:
+                ref.maintenance()
+        dut.maintenance(force=True)
+        for key in keys:
+            assert dut.get(key) == ref.get(key)
+        assert dut.delta_index.stats.merges > 0
+
+    def test_overflow_merges_synchronously(self):
+        dut = fresh_store(merge_threshold=1 << 30, capacity=8)
+        for i in range(32):
+            dut.set(b"key-%04d" % i, b"val-%04d" % i)
+        # capacity 8 forces merges inline long before any barrier runs
+        assert dut.delta_index.stats.merges >= 3
+        assert len(dut.delta_index) < 8 + 1
+        for i in range(32):
+            assert dut.get(b"key-%04d" % i) == b"val-%04d" % i
+
+    def test_force_maintenance_merges_small_delta(self):
+        dut = fresh_store(merge_threshold=1 << 30)
+        dut.set(b"k", b"v")
+        assert len(dut.delta_index) == 1
+        dut.maintenance(force=True)
+        assert len(dut.delta_index) == 0
+        assert dut.get(b"k") == b"v"
+
+    def test_needs_maintenance_reflects_delta(self):
+        dut = fresh_store(merge_threshold=2)
+        dut.set(b"a", b"1")
+        assert not dut.needs_maintenance
+        dut.set(b"b", b"2")
+        assert dut.needs_maintenance
+        dut.maintenance()
+        assert not dut.needs_maintenance
+
+
+# ------------------------------------------------- merge / cache honesty
+
+
+class TestMergeHonesty:
+    """Satellite: the delta never serves (or leaves behind) a stale slot."""
+
+    def test_post_merge_probe_cache_returns_new_slot(self):
+        dut = fresh_store(merge_threshold=1 << 30)
+        dut.set(b"key", b"old-value")
+        dut.maintenance(force=True)  # binding now lives in main
+        index = dut.index
+        index.probe_cached(b"key")  # warm the probe cache pre-merge
+        dut.set(b"key", b"new-value")  # absorbed: main still points at old
+        dut.maintenance(force=True)  # merge reassigns the main slot
+        assert b"key" not in index._probe_cache  # invalidated, not stale
+        sig, buckets = index.probe_cached(b"key")
+        [loc] = index.search_prehashed(sig, buckets)[0]
+        assert dut.heap.get(loc).value == b"new-value"
+        assert dut.get(b"key") == b"new-value"
+
+    def test_merged_delete_clears_main_entry(self):
+        dut = fresh_store(merge_threshold=1 << 30)
+        dut.set(b"key", b"value")
+        dut.maintenance(force=True)
+        dut.delete(b"key")
+        dut.maintenance(force=True)
+        sig, buckets = dut.index.probe(b"key")
+        assert dut.index.search_prehashed(sig, buckets)[0] == []
+        assert dut.get(b"key") is None
+
+    def test_merge_with_cuckoo_pressure_keeps_all_bindings(self):
+        # a small table forces kick chains while merged inserts land
+        store = KVStore(memory_bytes=1 << 20, expected_objects=64)
+        store.attach_delta_index(merge_threshold=1 << 30)
+        items = {b"key-%03d" % i: b"val-%03d" % i for i in range(120)}
+        for key, value in items.items():
+            store.set(key, value)
+        store.maintenance(force=True)
+        for key, value in items.items():
+            assert store.get(key) == value
+
+    def test_merge_is_idempotent_across_empty_ticks(self):
+        dut = fresh_store(merge_threshold=1 << 30)
+        dut.set(b"k", b"v")
+        dut.maintenance(force=True)
+        merges = dut.delta_index.stats.merges
+        dut.maintenance(force=True)  # nothing pending: no-op
+        assert dut.delta_index.stats.merges == merges
+        assert dut.get(b"k") == b"v"
+
+
+# --------------------------------------------------- tuple vs column paths
+
+
+@needs_numpy
+class TestApplyPaths:
+    """The columnar fast path lands the same table as the tuple path."""
+
+    def run_soup(self, columns: bool):
+        store = fresh_store(heap="log", merge_threshold=48)
+        if columns:
+            store.index.ensure_mirror()
+        rng = random.Random(11)
+        keys = [b"key-%04d" % i for i in range(160)]
+        for step in range(2500):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.6:
+                store.set(key, b"val-%07d" % step)
+            elif roll < 0.75:
+                store.delete(key)
+            if store.needs_maintenance:
+                store.maintenance()
+        store.maintenance(force=True)
+        return store, keys
+
+    def test_columns_and_rows_land_identical_tables(self):
+        col_store, keys = self.run_soup(columns=True)
+        row_store, _ = self.run_soup(columns=False)
+        assert sorted(col_store.index.entries()) == sorted(row_store.index.entries())
+        for key in keys:
+            assert col_store.get(key) == row_store.get(key)
+
+    def test_merge_columns_requires_numpy_reachable_keys(self):
+        from repro.engine.vector import MAX_VECTOR_KEY_BYTES
+
+        store = fresh_store(merge_threshold=1 << 30)
+        store.set(b"x" * (MAX_VECTOR_KEY_BYTES + 1), b"v")
+        assert store.delta_index.merge_columns() is None  # falls back to rows
+        store.maintenance(force=True)
+        assert store.get(b"x" * (MAX_VECTOR_KEY_BYTES + 1)) == b"v"
+
+    def test_bulk_apply_columns_without_mirror_raises(self):
+        store = fresh_store(merge_threshold=1 << 30)
+        store.set(b"k", b"v")
+        plan = store.delta_index.merge_columns()
+        assert plan is not None
+        keys, signatures, buckets, classes = plan
+        with pytest.raises(ConfigurationError):
+            store.index.bulk_apply_columns(signatures, buckets, classes)
+
+
+# ----------------------------------------------------- mirror coherence
+
+
+@needs_numpy
+class TestMirrorCoherence:
+    """Satellite: every mirror writer funnels through one store point."""
+
+    @pytest.mark.parametrize("heap", ["slab", "log"])
+    def test_mirror_matches_table_after_op_soup(self, heap):
+        store = fresh_store(heap=heap, merge_threshold=32)
+        index = store.index
+        mirror = index.ensure_mirror()
+        rng = random.Random(13)
+        keys = [b"key-%04d" % i for i in range(200)]
+        for step in range(3000):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.55:
+                store.set(key, b"val-%07d" % step)
+            elif roll < 0.75:
+                store.delete(key)
+            else:
+                store.get(key)
+            if store.needs_maintenance:
+                store.maintenance()
+        store.maintenance(force=True)
+        assert store.delta_index.stats.merges > 10
+        for bucket_idx, bucket in enumerate(index._buckets):
+            for slot_idx, slot in enumerate(bucket):
+                assert int(mirror.signatures[bucket_idx, slot_idx]) == slot.signature
+                assert int(mirror.locations[bucket_idx, slot_idx]) == slot.location
+
+    def test_signature_column_sorted_and_tracks_tombstones(self):
+        store = fresh_store(merge_threshold=1 << 30)
+        store.set(b"a", b"1")
+        store.set(b"b", b"2")
+        store.delete(b"a")  # tombstone must stay visible to the prefilter
+        column = store.delta_index.signature_column()
+        assert list(column) == sorted(column)
+        assert len(column) == 2
+
+
+# ------------------------------------------------------------- telemetry
+
+
+class TestDeltaTelemetry:
+    def test_merge_metrics_visible_in_console_summary(self, live_telemetry):
+        dut = fresh_store(merge_threshold=4)
+        for i in range(12):
+            dut.set(b"key-%02d" % i, b"val")
+            if dut.needs_maintenance:
+                dut.maintenance()
+        dut.maintenance(force=True)
+        text = console_summary(get_telemetry())
+        assert "delta index" in text
+        assert "repro_delta_merges_total" in text
+        assert "repro_delta_index_size" in text
+        assert "repro_delta_merge_ns" in text
