@@ -47,6 +47,7 @@ import json
 import os
 import sys
 import time
+from collections import deque
 
 from repro.engine import (
     SerialEngine,
@@ -123,11 +124,19 @@ def fresh_store(
 
 
 def contenders(shards: int):
-    """(label, engine factory, shard count, hot, store kind, delta) variants."""
+    """(label, engine factory, shards, hot, store kind, delta, pipelined)."""
     return [
-        ("serial", lambda: SerialEngine(), 1, False, "thread", False),
-        ("serial-hot", lambda: SerialEngine(dedup=True), 1, True, "thread", False),
-        ("stealing", lambda: StealingEngine(), 1, False, "thread", False),
+        ("serial", lambda: SerialEngine(), 1, False, "thread", False, False),
+        (
+            "serial-hot",
+            lambda: SerialEngine(dedup=True),
+            1,
+            True,
+            "thread",
+            False,
+            False,
+        ),
+        ("stealing", lambda: StealingEngine(), 1, False, "thread", False, False),
         (
             "stealing-hot",
             lambda: StealingEngine(dedup=True),
@@ -135,19 +144,29 @@ def contenders(shards: int):
             True,
             "thread",
             False,
+            False,
         ),
-        ("vector", lambda: VectorEngine(), 1, False, "thread", False),
-        ("vector-hot", lambda: VectorEngine(dedup=True), 1, True, "thread", False),
+        ("vector", lambda: VectorEngine(), 1, False, "thread", False, False),
+        (
+            "vector-hot",
+            lambda: VectorEngine(dedup=True),
+            1,
+            True,
+            "thread",
+            False,
+            False,
+        ),
         # Read-only sweep with the delta index attached: GETs resolve
         # delta-first, so this column is the no-regression proof for the
         # lookup path (the write-side wins live in BENCH_write.json).
-        ("vector-delta", lambda: VectorEngine(), 1, False, "thread", True),
+        ("vector-delta", lambda: VectorEngine(), 1, False, "thread", True, False),
         (
             "sharded",
             lambda: ShardedEngine(VectorEngine()),
             shards,
             False,
             "thread",
+            False,
             False,
         ),
         (
@@ -157,39 +176,95 @@ def contenders(shards: int):
             True,
             "thread",
             False,
+            False,
         ),
-        ("procshard", lambda: ProcShardEngine(), shards, False, "proc", False),
-        ("procshard-hot", lambda: ProcShardEngine(), shards, True, "proc", False),
+        # The synchronous per-row router (pre-vectorization split/merge):
+        # the honest baseline the pipelined contender's headline speedup
+        # is measured against.
+        (
+            "procshard-scalar",
+            lambda: ProcShardEngine(vectorize=False),
+            shards,
+            False,
+            "proc",
+            False,
+            False,
+        ),
+        ("procshard", lambda: ProcShardEngine(), shards, False, "proc", False, False),
+        (
+            "procshard-hot",
+            lambda: ProcShardEngine(),
+            shards,
+            True,
+            "proc",
+            False,
+            False,
+        ),
+        # Double-buffered submit/collect: window N+1 is routed while
+        # window N's replies are still in flight.
+        (
+            "procshard-pipelined",
+            lambda: ProcShardEngine(),
+            shards,
+            False,
+            "proc",
+            False,
+            True,
+        ),
     ]
 
 
 def run_engine(
     engine, config, stream, batches, shards, hot, batch_size, warmup,
-    kind="thread", heap="log", delta=False,
+    kind="thread", heap="log", delta=False, pipelined=False,
 ):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
-    list covers every batch so identity checks span warmup too.
+    list covers every batch so identity checks span warmup too.  With
+    ``pipelined`` the runner submits window N+1 before collecting window
+    N (one window in flight), draining at the warmup boundary and again
+    before stopping the clock so the timed region is self-contained.
     """
     store = fresh_store(stream, shards, hot, batch_size, kind, heap, delta)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
     t0 = None
-    for i, batch in enumerate(batches):
-        if i == warmup:
-            t0 = time.perf_counter()
-        results.append(pipeline.process_batch(config, batch))
-    elapsed = time.perf_counter() - (t0 if t0 is not None else time.perf_counter())
+    if pipelined:
+        pending = deque()
+        for i, batch in enumerate(batches):
+            if i == warmup:
+                while pending:
+                    results.append(pipeline.collect_batch(pending.popleft()))
+                t0 = time.perf_counter()
+            pending.append(pipeline.submit_batch(config, batch))
+            while len(pending) > 1:
+                results.append(pipeline.collect_batch(pending.popleft()))
+        while pending:
+            results.append(pipeline.collect_batch(pending.popleft()))
+        elapsed = time.perf_counter() - (
+            t0 if t0 is not None else time.perf_counter()
+        )
+    else:
+        for i, batch in enumerate(batches):
+            if i == warmup:
+                t0 = time.perf_counter()
+            results.append(pipeline.process_batch(config, batch))
+        elapsed = time.perf_counter() - (
+            t0 if t0 is not None else time.perf_counter()
+        )
     outputs = [
         b"".join(frame.payload for frame in result.frames) for result in results
     ]
+    meta = {}
+    if pipelined and hasattr(engine, "overlap_ratio"):
+        meta["overlap_ratio"] = round(engine.overlap_ratio, 3)
     if isinstance(engine, ShardedEngine):
         engine.close()
     if isinstance(store, ProcShardStore):
         store.close()
-    return elapsed, outputs
+    return elapsed, outputs, meta
 
 
 def bench_skew(
@@ -200,25 +275,30 @@ def bench_skew(
     timed_queries = batch_size * num_batches
     # The identity baseline stays the per-query reference engine on the
     # slab heap regardless of --heap, so a heap bug cannot self-certify.
-    _, reference = run_engine(
+    _, reference, _ = run_engine(
         "reference", config, stream, batches, 1, False, batch_size, warmup,
         heap="slab",
     )
     best: dict[str, float] = {}
-    for label, factory, engine_shards, hot, kind, delta in contenders(shards):
+    metas: dict[str, dict] = {}
+    for label, factory, engine_shards, hot, kind, delta, pipelined in (
+        contenders(shards)
+    ):
         if only is not None and label not in only:
             continue
         best[label] = float("inf")
         for _ in range(repeat):
-            elapsed, outputs = run_engine(
+            elapsed, outputs, meta = run_engine(
                 factory(), config, stream, batches, engine_shards, hot,
-                batch_size, warmup, kind, heap, delta,
+                batch_size, warmup, kind, heap, delta, pipelined,
             )
             if outputs != reference:
                 raise AssertionError(
                     f"skew {skew}: {label} responses differ from the reference"
                 )
-            best[label] = min(best[label], elapsed)
+            if elapsed < best[label]:
+                best[label] = elapsed
+                metas[label] = meta
     row = {"skew": skew, "queries": timed_queries, "byte_identical": True}
     for label, seconds in best.items():
         row[f"{label}_qps"] = round(timed_queries / seconds)
@@ -230,6 +310,15 @@ def bench_skew(
     if "vector" in best and "procshard" in best:
         # The tentpole's success metric: procshard over single-core vector.
         row["procshard_vs_vector"] = round(best["vector"] / best["procshard"], 3)
+    if "procshard-scalar" in best and "procshard-pipelined" in best:
+        # The pipelined-IPC headline: double-buffered vectorized windows
+        # over the synchronous per-row router.
+        row["pipelined_vs_sync"] = round(
+            best["procshard-scalar"] / best["procshard-pipelined"], 3
+        )
+    overlap = metas.get("procshard-pipelined", {}).get("overlap_ratio")
+    if overlap is not None:
+        row["procshard_overlap_ratio"] = overlap
     if "vector" in best and "vector-delta" in best:
         # Delta-first GET resolution must stay within noise of plain.
         row["vector_delta_vs_plain"] = round(
@@ -279,12 +368,17 @@ def main(argv: list[str] | None = None) -> int:
         results.append(row)
         parts = [f"skew {skew:<4}"]
         for label in ("vector", "vector-hot", "sharded-hot", "procshard",
-                      "procshard-hot"):
+                      "procshard-hot", "procshard-pipelined"):
             qps = row.get(f"{label}_qps")
             if qps is not None:
                 parts.append(f"{label}={qps:>9,} q/s")
         if "procshard_vs_vector" in row:
             parts.append(f"(procshard {row['procshard_vs_vector']:.2f}x vector)")
+        if "pipelined_vs_sync" in row:
+            parts.append(
+                f"(pipelined {row['pipelined_vs_sync']:.2f}x sync, "
+                f"overlap {row.get('procshard_overlap_ratio', 0):.2f})"
+            )
         print("  ".join(parts), flush=True)
 
     payload = {

@@ -44,6 +44,7 @@ import json
 import os
 import sys
 import time
+from collections import deque
 
 from repro.engine import SerialEngine, ShardedEngine, VectorEngine
 from repro.engine.procshard import ProcShardEngine, ProcShardStore
@@ -110,43 +111,77 @@ def fresh_store(
 
 
 def contenders(shards: int):
-    """(label, engine factory, shard count, store kind, delta) variants."""
+    """(label, engine factory, shards, store kind, delta, pipelined)."""
     return [
-        ("serial", lambda: SerialEngine(), 1, "thread", False),
-        ("vector", lambda: VectorEngine(), 1, "thread", False),
-        ("sharded", lambda: ShardedEngine(VectorEngine()), shards, "thread", False),
-        ("procshard", lambda: ProcShardEngine(), shards, "proc", False),
-        ("serial-delta", lambda: SerialEngine(), 1, "thread", True),
-        ("vector-delta", lambda: VectorEngine(), 1, "thread", True),
+        ("serial", lambda: SerialEngine(), 1, "thread", False, False),
+        ("vector", lambda: VectorEngine(), 1, "thread", False, False),
+        (
+            "sharded",
+            lambda: ShardedEngine(VectorEngine()),
+            shards,
+            "thread",
+            False,
+            False,
+        ),
+        ("procshard", lambda: ProcShardEngine(), shards, "proc", False, False),
+        # Double-buffered submit/collect over the same worker fleet: the
+        # write path keeps byte-identity because each shard's ring is a
+        # strict FIFO (window N's SETs land before window N+1 probes).
+        (
+            "procshard-pipelined",
+            lambda: ProcShardEngine(),
+            shards,
+            "proc",
+            False,
+            True,
+        ),
+        ("serial-delta", lambda: SerialEngine(), 1, "thread", True, False),
+        ("vector-delta", lambda: VectorEngine(), 1, "thread", True, False),
         (
             "sharded-delta",
             lambda: ShardedEngine(VectorEngine()),
             shards,
             "thread",
             True,
+            False,
         ),
-        ("procshard-delta", lambda: ProcShardEngine(), shards, "proc", True),
+        ("procshard-delta", lambda: ProcShardEngine(), shards, "proc", True, False),
     ]
 
 
 def run_engine(
     engine, config, stream, batches, shards, heap, warmup, kind="thread",
-    delta=False,
+    delta=False, pipelined=False,
 ):
     """All batches on a fresh prefilled store; (timed seconds, frame bytes).
 
     The clock covers only the post-warmup batches; the returned output
-    list covers every batch so identity checks span warmup too.
+    list covers every batch so identity checks span warmup too.  With
+    ``pipelined`` the runner keeps one window in flight (submit N+1, then
+    collect N), draining at the warmup boundary and before the clock stops.
     """
     store = fresh_store(stream, shards, heap, kind, delta)
     pipeline = FunctionalPipeline(store, engine=engine)
     results = []
     gc.collect()
     t0 = None
-    for i, batch in enumerate(batches):
-        if i == warmup:
-            t0 = time.perf_counter()
-        results.append(pipeline.process_batch(config, batch))
+    if pipelined:
+        pending = deque()
+        for i, batch in enumerate(batches):
+            if i == warmup:
+                while pending:
+                    results.append(pipeline.collect_batch(pending.popleft()))
+                t0 = time.perf_counter()
+            pending.append(pipeline.submit_batch(config, batch))
+            while len(pending) > 1:
+                results.append(pipeline.collect_batch(pending.popleft()))
+        while pending:
+            results.append(pipeline.collect_batch(pending.popleft()))
+    else:
+        for i, batch in enumerate(batches):
+            if i == warmup:
+                t0 = time.perf_counter()
+            results.append(pipeline.process_batch(config, batch))
     elapsed = time.perf_counter() - (t0 if t0 is not None else time.perf_counter())
     outputs = [
         b"".join(frame.payload for frame in result.frames) for result in results
@@ -175,14 +210,16 @@ def bench_mix(
         "log": {},
     }
     for heap in HEAPS:
-        for name, factory, engine_shards, kind, delta in contenders(shards):
+        for name, factory, engine_shards, kind, delta, pipelined in (
+            contenders(shards)
+        ):
             if only is not None and name not in only:
                 continue
             best = float("inf")
             for _ in range(repeat):
                 elapsed, outputs = run_engine(
                     factory(), config, stream, batches, engine_shards, heap,
-                    warmup, kind, delta,
+                    warmup, kind, delta, pipelined,
                 )
                 if outputs != reference:
                     raise AssertionError(

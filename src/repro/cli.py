@@ -239,6 +239,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         coalesce_us=args.coalesce_us,
         wire=args.wire,
         drain_limit=args.drain_limit,
+        pipeline_depth=args.pipeline_depth,
     )
     if args.cluster_node:
         return _serve_cluster_node(args, server)
@@ -507,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--drain-limit", type=int, default=64,
         help="datagrams drained from the kernel per receive poll (default: 64)",
+    )
+    p.add_argument(
+        "--pipeline-depth", type=int, default=None, metavar="N",
+        help="windows in flight to the procshard workers (default: 2 when "
+        "the engine supports pipelining, else 1; 1 disables overlap)",
     )
     p.add_argument(
         "--dedup", action="store_true",

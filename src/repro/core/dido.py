@@ -201,6 +201,14 @@ class DidoSystem:
         feeds observed object frequencies back into the profiler for the
         skew estimator.
         """
+        config = self._plan_batch(queries)
+        result = self.pipeline.process_batch(config, queries)
+        self._batches += 1
+        self._queries += len(queries)
+        return result
+
+    def _plan_batch(self, queries):
+        """Per-batch pre-work: profile, feed caches, pick the config."""
         if not queries:
             raise WorkloadError("cannot process an empty batch")
         self.profiler.observe_batch(queries)
@@ -211,10 +219,32 @@ class DidoSystem:
             profile = self._feed_procshard(profile)
         elif self._hot_caches:
             profile = self._feed_hot_caches(profile)
-        config = self.controller.config_for(profile)
-        result = self.pipeline.process_batch(config, queries)
+        return self.controller.config_for(profile)
+
+    @property
+    def supports_pipelining(self) -> bool:
+        """Whether :meth:`process_submit` actually overlaps windows."""
+        return self._procshard and self.pipeline.supports_pipelining
+
+    def process_submit(self, queries):
+        """Pipelined entry: plan and submit one window without merging.
+
+        Returns a :class:`~repro.pipeline.functional.PendingBatch` to pass
+        to :meth:`process_collect` (in submission order).  On a
+        non-pipelining configuration the window runs synchronously here
+        and collect just unwraps it — callers never need to special-case.
+        All profiler/controller pre-work happens at submit time, reading
+        only router-side cached worker counters (no ring round trips that
+        would interleave with in-flight windows).
+        """
+        config = self._plan_batch(queries)
+        return self.pipeline.submit_batch(config, queries)
+
+    def process_collect(self, pending) -> BatchResult:
+        """Finish a window submitted with :meth:`process_submit`."""
+        result = self.pipeline.collect_batch(pending)
         self._batches += 1
-        self._queries += len(queries)
+        self._queries += pending.num_queries
         return result
 
     def process_frames(self, frames: list[Frame]) -> BatchResult:

@@ -59,16 +59,17 @@ class BatchPlane:
         "pending_inserts",
         "pending_deletes",
         "batch_inserts",
-        "get_indices",
-        "set_indices",
-        "delete_indices",
-        "search_indices",
-        "mutation_indices",
+        "_subsets",
         "all_indices",
         "scratch",
         "hotpath",
         "response_sizes",
         "response_statuses",
+        "wants_responses",
+        "responses_complete",
+        "opcodes",
+        "key_lens",
+        "value_lens",
     )
 
     def __init__(self, queries):
@@ -89,6 +90,13 @@ class BatchPlane:
             self.keys = [q.key for q in queries]
             self.set_values = [q.value for q in queries]
             opcodes = None
+        #: Wire-decoder opcode/length columns when the batch arrived
+        #: columnar (None on the legacy Query-object path).  The procshard
+        #: router gathers per-shard sub-blocks straight from these instead
+        #: of recomputing lengths per batch.
+        self.opcodes = opcodes
+        self.key_lens = getattr(queries, "key_lens", None)
+        self.value_lens = getattr(queries, "value_lens", None)
         self.candidates: list = [NO_CANDIDATES] * n
         self.locations: list[int | None] = [None] * n
         self.read_values: list[bytes | None] = [None] * n
@@ -96,44 +104,11 @@ class BatchPlane:
         self.pending_inserts: list[tuple[bytes, int] | None] = [None] * n
         self.pending_deletes: list[list[tuple[bytes, int | None]] | None] = [None] * n
         self.batch_inserts: dict[bytes, int] = {}
-        if opcodes is not None:
-            # One mask per subset over the wire opcode column (GET=1,
-            # SET=2, DELETE=3); `.nonzero()` keeps ascending order.
-            is_set = opcodes == 2
-            get_indices = (opcodes == 1).nonzero()[0].tolist()
-            set_indices = is_set.nonzero()[0].tolist()
-            delete_indices = (opcodes == 3).nonzero()[0].tolist()
-            search_indices = (~is_set).nonzero()[0].tolist()
-            mutation_indices = (opcodes != 1).nonzero()[0].tolist()
-        else:
-            get_indices = []
-            set_indices = []
-            delete_indices = []
-            search_indices = []
-            mutation_indices = []
-            get_type, set_type = QueryType.GET, QueryType.SET
-            for i, qtype in enumerate(qtypes):
-                if qtype is get_type:
-                    get_indices.append(i)
-                    search_indices.append(i)
-                elif qtype is set_type:
-                    set_indices.append(i)
-                    mutation_indices.append(i)
-                else:
-                    delete_indices.append(i)
-                    search_indices.append(i)
-                    mutation_indices.append(i)
-        #: GET queries (KC/RD consumers).
-        self.get_indices = get_indices
-        #: SET queries (MM/Insert producers).
-        self.set_indices = set_indices
-        #: DELETE queries.
-        self.delete_indices = delete_indices
-        #: Queries the index Search pass touches (GET and DELETE).
-        self.search_indices = search_indices
-        #: Queries the index Delete pass touches (DELETE queries answer
-        #: here; SET queries flush their displaced-entry deletes).
-        self.mutation_indices = mutation_indices
+        #: Per-qtype index subsets are built on first access — engine
+        #: passes need them, but the procshard router plane (which only
+        #: splits/merges whole windows) never does, so it skips the
+        #: O(rows) pass entirely.
+        self._subsets: tuple | None = None
         #: Every query (the WR pass).
         self.all_indices = range(n)
         #: Engine-private per-batch state (the vector engine parks its
@@ -155,6 +130,83 @@ class BatchPlane:
         #: response bytes without touching Response objects.  None when
         #: the executing engine does not produce it.
         self.response_statuses: list[int] | None = None
+        #: When False, engines that fill the status/size/value columns may
+        #: skip materializing per-row :class:`Response` objects entirely
+        #: (the procshard worker ships columns, never objects).  Callers
+        #: that clear this must not use :meth:`take_responses` afterwards
+        #: unless ``response_statuses`` stayed None.
+        self.wants_responses: bool = True
+        #: Set by engines that fill every response slot by construction
+        #: (the procshard merge covers all rows, including fill-downs);
+        #: lets :meth:`take_responses` skip its per-row completeness scan.
+        self.responses_complete: bool = False
+
+    def _build_subsets(self) -> tuple:
+        opcodes = self.opcodes
+        if opcodes is not None:
+            # One mask per subset over the wire opcode column (GET=1,
+            # SET=2, DELETE=3); `.nonzero()` keeps ascending order.
+            is_set = opcodes == 2
+            subsets = (
+                (opcodes == 1).nonzero()[0].tolist(),
+                is_set.nonzero()[0].tolist(),
+                (opcodes == 3).nonzero()[0].tolist(),
+                (~is_set).nonzero()[0].tolist(),
+                (opcodes != 1).nonzero()[0].tolist(),
+            )
+        else:
+            get_indices: list[int] = []
+            set_indices: list[int] = []
+            delete_indices: list[int] = []
+            search_indices: list[int] = []
+            mutation_indices: list[int] = []
+            get_type, set_type = QueryType.GET, QueryType.SET
+            for i, qtype in enumerate(self.qtypes):
+                if qtype is get_type:
+                    get_indices.append(i)
+                    search_indices.append(i)
+                elif qtype is set_type:
+                    set_indices.append(i)
+                    mutation_indices.append(i)
+                else:
+                    delete_indices.append(i)
+                    search_indices.append(i)
+                    mutation_indices.append(i)
+            subsets = (
+                get_indices,
+                set_indices,
+                delete_indices,
+                search_indices,
+                mutation_indices,
+            )
+        self._subsets = subsets
+        return subsets
+
+    @property
+    def get_indices(self) -> list[int]:
+        """GET queries (KC/RD consumers)."""
+        return (self._subsets or self._build_subsets())[0]
+
+    @property
+    def set_indices(self) -> list[int]:
+        """SET queries (MM/Insert producers)."""
+        return (self._subsets or self._build_subsets())[1]
+
+    @property
+    def delete_indices(self) -> list[int]:
+        """DELETE queries."""
+        return (self._subsets or self._build_subsets())[2]
+
+    @property
+    def search_indices(self) -> list[int]:
+        """Queries the index Search pass touches (GET and DELETE)."""
+        return (self._subsets or self._build_subsets())[3]
+
+    @property
+    def mutation_indices(self) -> list[int]:
+        """Queries the index Delete pass touches (DELETE queries answer
+        here; SET queries flush their displaced-entry deletes)."""
+        return (self._subsets or self._build_subsets())[4]
 
     def take_responses(self) -> list[Response]:
         """The completed response column; raises if any slot is empty.
@@ -164,6 +216,8 @@ class BatchPlane:
         rather than at "somewhere in the batch".
         """
         responses = self.responses
+        if self.responses_complete:
+            return responses  # type: ignore[return-value]
         if any(r is None for r in responses):
             missing = [i for i, r in enumerate(responses) if r is None]
             shown = ", ".join(

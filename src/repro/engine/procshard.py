@@ -43,8 +43,10 @@ import atexit
 import logging
 import os
 import struct
+import time
 import traceback
 import weakref
+from functools import partial
 
 from repro.errors import ConfigurationError, ReproError
 from repro.kv.hashtable import IndexStats
@@ -53,10 +55,12 @@ from repro.kv.sharding import shard_of
 from repro.kv.store import KVStore, StoreStats
 from repro.net.arena import (
     DEFAULT_RING_BYTES,
+    QueryBlockColumns,
     RingClosedError,
     ShmRing,
     decode_query_block,
     decode_response_block,
+    decode_response_columns,
     encode_query_block,
     encode_response_block,
 )
@@ -85,13 +89,17 @@ MSG_RESULT = 65
 MSG_ERROR = 66
 
 _U32 = struct.Struct("<I")
-_BATCH_HEAD = struct.Struct("<dqB")  # skew, epoch, gate-caches flag
+#: Per-batch header: skew, epoch, per-worker sequence number, gate flag.
+#: The sequence number is echoed back in the reply head so the router can
+#: detect a desynchronized ring (a reply surviving from a window the
+#: router already gave up on) instead of merging the wrong window.
+_BATCH_HEAD = struct.Struct("<dqIB")
 
 #: Piggybacked counters: StoreStats(6) + IndexStats(7) + store len +
 #: hot-cache hit/miss totals, as little-endian i64s.
 _STATS_FIELDS = 6 + 7 + 3
 _STATS_STRUCT = struct.Struct(f"<{_STATS_FIELDS}q")
-_RESULT_HEAD = struct.Struct("<IIQQ")  # n, freq_count, dup_count, reserved
+_RESULT_HEAD = struct.Struct("<IIQQ")  # n, freq_count, dup_count, seq echo
 
 #: Worker-side frequency-harvest cap per batch (mirrors the router-side
 #: sample the in-process system takes from its own heap).
@@ -100,6 +108,13 @@ HARVEST_SAMPLE = 512
 #: How long the router waits for one worker's batch reply before giving
 #: up on it (liveness failures surface much sooner via the abort probe).
 REPLY_TIMEOUT_S = 60.0
+
+#: Double-buffer bound: how many windows may be resident per worker.  Two
+#: is the pipelining sweet spot — window N+1 streams into the inbound
+#: ring while the worker crunches window N — and keeps the ring-sizing
+#: rule simple (each ring must hold one full window plus one reply, which
+#: the doubled default capacity covers for 4096-row batches).
+MAX_INFLIGHT_WINDOWS = 2
 
 _STORED = Response(ResponseStatus.STORED)
 _DELETED = Response(ResponseStatus.DELETED)
@@ -110,6 +125,10 @@ _BY_CODE = {
     ResponseStatus.DELETED.value: _DELETED,
     ResponseStatus.NOT_FOUND.value: _NOT_FOUND,
 }
+#: Merge-side materialization table: fill-down rows carry ERROR, which the
+#: engine itself only ever produces for dead-worker rows.
+_MERGE_BY_CODE = dict(_BY_CODE)
+_MERGE_BY_CODE[ResponseStatus.ERROR.value] = _WORKER_DOWN
 
 
 class WorkerDiedError(ReproError):
@@ -184,10 +203,10 @@ def _harvest_frequencies(store: KVStore, epoch: int, sample: int) -> list[int]:
     return counts
 
 
-def _handle_batch(state: _WorkerState, payload) -> list:
+def _handle_batch(state: _WorkerState, payload, offset: int = 0) -> list:
     from repro.engine.plane import BatchPlane
 
-    skew, epoch, gate = _BATCH_HEAD.unpack_from(payload, 0)
+    skew, epoch, seq, gate = _BATCH_HEAD.unpack_from(payload, offset)
     cache = state.store.hot_cache
     freq: list[int] = []
     if cache is not None and gate:
@@ -197,23 +216,29 @@ def _handle_batch(state: _WorkerState, payload) -> list:
         freq.extend(
             _harvest_frequencies(state.store, epoch, HARVEST_SAMPLE - len(freq))
         )
-    columns = decode_query_block(payload, _BATCH_HEAD.size)
+    columns = decode_query_block(payload, offset + _BATCH_HEAD.size)
     plane = BatchPlane(columns)
+    # The worker only ever ships the status/size/value columns; per-row
+    # Response objects would be built and immediately discarded.
+    plane.wants_responses = False
     state.engine.run(state.store, state.plan, plane, epoch=epoch)
-    responses = plane.take_responses()
     # Post-batch barrier (the worker-side mirror of FunctionalPipeline's):
     # settle the log arena's memory debt before the next batch arrives.
     if state.store.needs_maintenance:
         state.store.maintenance()
     statuses = plane.response_statuses
     sizes = plane.response_sizes
-    if statuses is None:
-        statuses = [r.status.value for r in responses]
-    if sizes is None:
-        sizes = [r.wire_size for r in responses]
+    if statuses is None or sizes is None:
+        # Engines without columnar output (scalar fallback) still build
+        # the Response column; derive the wire columns from it.
+        responses = plane.take_responses()
+        if statuses is None:
+            statuses = [r.status.value for r in responses]
+        if sizes is None:
+            sizes = [r.wire_size for r in responses]
     hotpath = plane.hotpath
     dup_count = hotpath.dup_count if hotpath is not None else 0
-    head = _RESULT_HEAD.pack(plane.size, len(freq), dup_count, 0)
+    head = _RESULT_HEAD.pack(plane.size, len(freq), dup_count, seq)
     if np is not None:
         freq_b = np.fromiter(freq, dtype=np.uint32, count=len(freq)).tobytes()
     else:
@@ -246,7 +271,10 @@ def _worker_main(in_name: str, out_name: str, config: dict) -> None:
     try:
         while True:
             try:
-                msg = inbound.recv(timeout=0.2, abort=orphaned)
+                # idle=True: between windows the worker concedes the core
+                # fast instead of yield-polling — on oversubscribed hosts
+                # the router needs those timeslices for split/encode.
+                msg = inbound.recv(timeout=0.2, abort=orphaned, idle=True)
             except RingClosedError:
                 break
             if msg is None:
@@ -264,9 +292,12 @@ def _worker_main(in_name: str, out_name: str, config: dict) -> None:
             payload = memoryview(msg)[1:]
             try:
                 if mtype == MSG_BATCH:
-                    reply = _handle_batch(state, payload)
+                    # Pass the raw bytes + offset (not a memoryview slice)
+                    # so the block decoder's direct bytes-slicing path
+                    # applies to every key/value copied out of the arena.
+                    reply = _handle_batch(state, msg, 1)
                 elif mtype == MSG_POPULATE:
-                    columns = decode_query_block(payload)
+                    columns = decode_query_block(msg, 1)
                     stored = state.store.bulk_set_columns(
                         columns.keys, columns.values
                     )
@@ -307,6 +338,7 @@ class ShardWorker:
         self._ctx = ctx
         self._ring_bytes = ring_bytes
         self.generation = 0
+        self.seq = 0
         self.process = None
         self.to_worker: ShmRing | None = None
         self.from_worker: ShmRing | None = None
@@ -323,6 +355,12 @@ class ShardWorker:
         )
         self.process.start()
         self.generation += 1
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        """Per-worker batch sequence number (u32, wraps; resets on spawn)."""
+        self.seq = (self.seq + 1) & 0xFFFFFFFF
+        return self.seq
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -334,6 +372,29 @@ class ShardWorker:
     def queue_depth_bytes(self) -> int:
         ring = self.to_worker
         return ring.pending_bytes if ring is not None else 0
+
+    def take_high_water_bytes(self) -> int:
+        """Deepest either ring direction has been since the last take.
+
+        Both marks are writer-maintained inside the shared headers, so the
+        outbound (worker-written) direction's depth is as honest as the
+        inbound one — the old sampling only saw the inbound ring at send
+        time and missed every reply-side backlog.
+        """
+        mark = 0
+        for ring in (self.to_worker, self.from_worker):
+            if ring is not None:
+                mark = max(mark, ring.take_high_water())
+        return mark
+
+    def take_ring_stall_ns(self) -> int:
+        """Router-side send backpressure accumulated since the last take."""
+        ring = self.to_worker
+        if ring is None:
+            return 0
+        total = ring.stall_ns
+        ring.stall_ns = 0
+        return total
 
     def send(self, *parts) -> None:
         try:
@@ -452,6 +513,7 @@ class _ProcHeapView:
 
     def objects(self) -> list[_DumpedKey]:
         out: list[_DumpedKey] = []
+        self._store.drain_inflight()
         for worker in self._store.workers:
             reply = worker.request(bytes([MSG_DUMP]))
             (n,) = _U32.unpack_from(reply, 0)
@@ -493,13 +555,18 @@ class ProcShardStore:
         hot_cache_keys: int | None = None,
         hot_cache_active: bool = True,
         inner: str = "vector",
-        ring_bytes: int = DEFAULT_RING_BYTES,
+        ring_bytes: int | None = None,
         start_method: str | None = None,
         heap: str = "log",
         delta_index: bool = False,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if ring_bytes is None:
+            # Double-buffered default: each direction holds two full
+            # windows (window N+1 streams in while window N is resident),
+            # so pipelined submits never stall on a healthy worker.
+            ring_bytes = MAX_INFLIGHT_WINDOWS * DEFAULT_RING_BYTES
         import multiprocessing as mp
 
         if start_method is None:
@@ -536,6 +603,10 @@ class ProcShardStore:
             (0,) * _STATS_FIELDS for _ in range(num_shards)
         ]
         self._freq_pending: list[int] = []
+        #: In-flight pipelined windows (ProcShardTicket, FIFO): every
+        #: control-plane round-trip drains these first so a stats/populate
+        #: reply is never interleaved with a pending batch reply.
+        self._inflight: list = []
         self._closed = False
         self._index_view = _ProcIndexView(self)
         self._heap_view = _ProcHeapView(self, shard_budget * num_shards)
@@ -551,11 +622,32 @@ class ProcShardStore:
 
     # ------------------------------------------------------------ lifecycle
 
+    def drain_inflight(self) -> None:
+        """Collect every pending pipelined window (control-plane barrier).
+
+        The worker rings are strict FIFOs, so a stats/dump/populate
+        request sent while a batch reply is pending would consume that
+        reply as its own.  Every facade round-trip calls this first;
+        collection is idempotent, so racing an explicit ``collect`` is
+        safe.
+        """
+        while self._inflight:
+            ticket = self._inflight[0]
+            ticket.engine.collect(ticket)
+            if self._inflight and self._inflight[0] is ticket:
+                # Defensive: collect always dequeues its ticket; never
+                # spin if a broken ticket failed to.
+                self._inflight.pop(0)
+
     def close(self) -> None:
         """Stop every worker and unlink every shared-memory arena."""
         if self._closed:
             return
         self._closed = True
+        try:
+            self.drain_inflight()
+        except Exception:  # pragma: no cover - teardown best-effort
+            self._inflight.clear()
         for worker in self.workers:
             try:
                 worker.shutdown()
@@ -594,6 +686,7 @@ class ProcShardStore:
 
     def reset(self) -> None:
         """Rebuild every worker's store fresh (tests; keeps processes)."""
+        self.drain_inflight()
         for worker in self.workers:
             worker.request(bytes([MSG_RESET]))
         self._stats_cache = [(0,) * _STATS_FIELDS for _ in range(self.num_shards)]
@@ -626,6 +719,7 @@ class ProcShardStore:
 
     def refresh_stats(self) -> None:
         """Round-trip every worker for fresh counters (facade reads)."""
+        self.drain_inflight()
         for worker in self.workers:
             reply = worker.request(bytes([MSG_STATS]))
             self._note_stats(worker.shard_id, _unpack_stats(reply))
@@ -663,8 +757,9 @@ class ProcShardStore:
         return shard_of(key, self.num_shards)
 
     def _scalar(self, qtype: QueryType, key: bytes, value: bytes):
+        self.drain_inflight()
         worker = self.workers[self.shard_for(key)]
-        head = _BATCH_HEAD.pack(self.current_skew, 0, 0)
+        head = _BATCH_HEAD.pack(self.current_skew, 0, worker.next_seq(), 0)
         block = encode_query_block([qtype], [key], [value])
         reply = worker.request(bytes([MSG_BATCH]), head, *block)
         parsed = _RESULT_HEAD.unpack_from(reply, 0)
@@ -692,6 +787,7 @@ class ProcShardStore:
 
     def populate(self, items: list[tuple[bytes, bytes]]) -> int:
         """Bulk-load via per-worker columnar SET blocks."""
+        self.drain_inflight()
         by_shard: list[tuple[list[bytes], list[bytes]]] = [
             ([], []) for _ in range(self.num_shards)
         ]
@@ -714,6 +810,7 @@ class ProcShardStore:
         active — mirroring :meth:`ShardedKVStore.attach_hot_cache`).
         Returns ``[]``: the caches live in the workers and are reached
         through batch piggybacks, not direct references."""
+        self.drain_inflight()
         per_shard = None
         if capacity is not None:
             per_shard = max(64, capacity // self.num_shards)
@@ -726,6 +823,52 @@ class ProcShardStore:
 # ------------------------------------------------------------------- engine
 
 
+class ProcShardTicket:
+    """One in-flight pipelined window: everything collect needs to merge.
+
+    Created by :meth:`ProcShardEngine.submit`, finished by
+    :meth:`ProcShardEngine.collect` (idempotent — a window drained early
+    by the store's control-plane barrier just returns its cached claims
+    when collected again).
+    """
+
+    __slots__ = (
+        "engine",
+        "store",
+        "plane",
+        "sent",
+        "shard_sizes",
+        "vector",
+        "statuses_col",
+        "sizes_col",
+        "values_col",
+        "done",
+        "claims",
+        "encode_ns",
+        "send_ns",
+        "overlapped",
+    )
+
+    def __init__(self, engine: "ProcShardEngine", store, plane):
+        self.engine = engine
+        self.store = store
+        self.plane = plane
+        #: Sub-batches actually handed to a worker:
+        #: ``(shard, rows, generation, seq)`` — generation pins the ring
+        #: pair the window was sent on, seq the reply that answers it.
+        self.sent: list[tuple] = []
+        self.shard_sizes: list[int] = []
+        self.vector = False
+        self.statuses_col = None
+        self.sizes_col = None
+        self.values_col = None
+        self.done = False
+        self.claims: dict[str, int] = {}
+        self.encode_ns = 0
+        self.send_ns = 0
+        self.overlapped = False
+
+
 class ProcShardEngine:
     """Router-side engine: split by shard hash, fan out over rings, merge.
 
@@ -734,19 +877,48 @@ class ProcShardEngine:
     so the backend stays safe to pin unconditionally.  A worker that dies
     mid-batch answers its rows with ``ERROR`` responses instead of
     killing the serve loop; the maintenance tick respawns it.
+
+    The data plane is pipelined: :meth:`submit` splits a window with one
+    argsort over the FNV shard-hash column, gathers each sub-batch's
+    columns with fancy indexing, and streams them to the workers without
+    waiting; :meth:`collect` merges the replies with fancy-indexed
+    scatters into whole-batch status/size/value columns and materializes
+    the Response objects in a single pass.  ``run`` keeps the synchronous
+    contract (``submit`` immediately followed by ``collect``); the
+    server's coalescer uses the split pair to overlap window N+1's sends
+    with window N's worker compute.
     """
 
     name = "procshard"
 
-    def __init__(self, *, dedup: bool = False, hot_cache: bool = True):
+    def __init__(
+        self,
+        *,
+        dedup: bool = False,
+        hot_cache: bool = True,
+        vectorize: bool = True,
+    ):
         # Dedup/caching happen inside the workers (each owns its own
         # builder and cache); the flags exist for resolve_engine symmetry
         # and configure the in-process fallback only.
         self._fallback = None
         self._fallback_flags = (dedup, hot_cache)
+        #: ``vectorize=False`` keeps the per-row split/merge loops — the
+        #: numpy-less fallback, and the honest pre-vectorization baseline
+        #: the benches compare against.
+        self._vector = vectorize and np is not None
+        self.windows_submitted = 0
+        self.windows_overlapped = 0
 
     def close(self) -> None:
         """Engine holds no processes (the store owns workers); no-op."""
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of submitted windows that overlapped an in-flight one."""
+        if not self.windows_submitted:
+            return 0.0
+        return self.windows_overlapped / self.windows_submitted
 
     def _assign(self, keys: list[bytes], num_shards: int) -> list[int]:
         if np is not None:
@@ -755,6 +927,347 @@ class ProcShardEngine:
             states = fnv_hash_columns(keys, 1)
             return (states[0] % np.uint64(num_shards)).astype(np.intp).tolist()
         return [shard_of(key, num_shards) for key in keys]
+
+    def _split_rows(self, plane, num_shards: int, key_lens=None) -> list:
+        """Row indices per shard; ``[None]`` when there is one shard.
+
+        Vector path: one whole-batch FNV hash, one stable argsort, one
+        bincount — the stable sort keeps ascending row order inside each
+        shard, so sub-batch order is bit-identical to the per-row append
+        loop it replaces.  ``key_lens`` forwards a precomputed key-length
+        column to the hash kernel (one pass over the keys per window, not
+        one per consumer).
+        """
+        if num_shards == 1:
+            return [None]
+        keys = plane.keys
+        if self._vector:
+            order, bounds = self._shard_order(keys, num_shards, key_lens)
+            return [order[bounds[s] : bounds[s + 1]] for s in range(num_shards)]
+        assignment = self._assign(keys, num_shards)
+        rows: list[list[int]] = [[] for _ in range(num_shards)]
+        for row, shard in enumerate(assignment):
+            rows[shard].append(row)
+        return rows
+
+    @staticmethod
+    def _shard_order(keys, num_shards: int, key_lens=None):
+        """Stable shard argsort of one window plus per-shard span bounds."""
+        from repro.engine.vector import fnv_hash_columns
+
+        states = fnv_hash_columns(keys, 1, lens=key_lens)
+        shard_arr = (states[0] % np.uint64(num_shards)).astype(np.int64)
+        order = np.argsort(shard_arr, kind="stable")
+        counts = np.bincount(shard_arr, minlength=num_shards)
+        bounds = np.empty(num_shards + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(counts, out=bounds[1:])
+        return order, bounds.tolist()
+
+    # ------------------------------------------------------- submit/collect
+
+    def submit(self, store, plan, plane, *, epoch: int = 0) -> ProcShardTicket:
+        """Send one window's sub-batches; merge later with :meth:`collect`.
+
+        At most :data:`MAX_INFLIGHT_WINDOWS` windows may be resident per
+        store — submitting beyond that collects the oldest first, so the
+        double-buffered rings can never deadlock on a healthy worker.
+        On a non-procshard store the window runs synchronously and the
+        returned ticket is already done.
+        """
+        if not isinstance(store, ProcShardStore):
+            ticket = ProcShardTicket(self, None, plane)
+            ticket.claims = self.run(store, plan, plane, epoch=epoch)
+            ticket.done = True
+            return ticket
+        while len(store._inflight) >= MAX_INFLIGHT_WINDOWS:
+            self.collect(store._inflight[0])
+        ticket = ProcShardTicket(self, store, plane)
+        ticket.overlapped = bool(store._inflight)
+        t0 = time.perf_counter_ns()
+        num_shards = store.num_shards
+        n = plane.size
+        vector = ticket.vector = self._vector
+        qtypes, keys, set_values = plane.qtypes, plane.keys, plane.set_values
+        key_lens = getattr(plane, "key_lens", None)
+        if vector and key_lens is None and n:
+            # One pass over the key bytes per window: the same column
+            # feeds the FNV shard split and the block encoder.
+            key_lens = np.fromiter(map(len, keys), dtype=np.int64, count=n)
+        spans = bounds = None
+        if vector and num_shards > 1:
+            order, bounds = self._shard_order(keys, num_shards, key_lens)
+            shard_rows = [
+                order[bounds[s] : bounds[s + 1]] for s in range(num_shards)
+            ]
+        else:
+            shard_rows = self._split_rows(plane, num_shards, key_lens)
+        if vector:
+            cols = QueryBlockColumns(
+                qtypes,
+                keys,
+                set_values,
+                getattr(plane, "opcodes", None),
+                key_lens,
+                getattr(plane, "value_lens", None),
+            )
+            if bounds is not None:
+                # One whole-window permute; each shard's block is then a
+                # zero-copy span slice of the sorted columns.
+                spans = cols.sorted_spans(order)
+            ticket.statuses_col = np.zeros(n, dtype=np.int64)
+            ticket.sizes_col = np.zeros(n, dtype=np.int64)
+            ticket.values_col = np.empty(n, dtype=object)
+        else:
+            cols = None
+            ticket.statuses_col = [0] * n
+            ticket.sizes_col = [0] * n
+        ticket.shard_sizes = [
+            n if rows is None else len(rows) for rows in shard_rows
+        ]
+        skew = store.current_skew
+        gate = 1 if store._gate_caches else 0
+        encode_ns = time.perf_counter_ns() - t0
+        send_ns = 0
+        for shard, rows in enumerate(shard_rows):
+            if rows is not None and len(rows) == 0:
+                continue
+            worker = store.workers[shard]
+            t_enc = time.perf_counter_ns()
+            if spans is not None:
+                block = spans.encode(bounds[shard], bounds[shard + 1])
+            elif vector:
+                block = cols.encode(rows)
+            else:
+                block = encode_query_block(qtypes, keys, set_values, rows)
+            t_send = time.perf_counter_ns()
+            encode_ns += t_send - t_enc
+            seq = worker.next_seq()
+            head = _BATCH_HEAD.pack(skew, epoch, seq, gate)
+            try:
+                worker.send(bytes([MSG_BATCH]), head, *block)
+            except WorkerDiedError:
+                self._fill_down(ticket, rows)
+                continue
+            send_ns += time.perf_counter_ns() - t_send
+            ticket.sent.append((shard, rows, worker.generation, seq))
+        ticket.encode_ns = encode_ns
+        ticket.send_ns = send_ns
+        store._inflight.append(ticket)
+        self.windows_submitted += 1
+        if ticket.overlapped:
+            self.windows_overlapped += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.registry.gauge(
+                "repro_procshard_inflight_windows",
+                help="Pipelined windows currently resident in worker rings",
+            ).set(len(store._inflight))
+        return ticket
+
+    def collect(self, ticket: ProcShardTicket) -> dict[str, int]:
+        """Merge one submitted window's replies into its plane.
+
+        Idempotent; collects any older in-flight windows first (worker
+        rings are strict FIFOs).  A worker that died, was respawned, or
+        answered with the wrong sequence number has its rows answered
+        ``ERROR`` — every in-flight window a mid-flight death touches
+        fills down, none hangs.
+        """
+        if ticket.done:
+            return ticket.claims
+        store = ticket.store
+        inflight = store._inflight
+        while inflight and inflight[0] is not ticket:
+            self.collect(inflight[0])
+        plane = ticket.plane
+        responses = plane.responses
+        read_values = plane.read_values
+        statuses_col = ticket.statuses_col
+        sizes_col = ticket.sizes_col
+        values_col = ticket.values_col
+        vector = ticket.vector
+        dup_count = 0
+        cache_hits = cache_misses = 0
+        wait_ns = decode_ns = scatter_ns = 0
+        depth = 0
+        stall_ns = 0
+        try:
+            for shard, rows, generation, seq in ticket.sent:
+                worker = store.workers[shard]
+                if worker.generation != generation:
+                    # Respawned since submit: the rings this window was
+                    # sent on are gone; nothing to receive.
+                    self._fill_down(ticket, rows)
+                    continue
+                t_wait = time.perf_counter_ns()
+                try:
+                    reply = worker.recv_reply()
+                except WorkerDiedError:
+                    wait_ns += time.perf_counter_ns() - t_wait
+                    self._fill_down(ticket, rows)
+                    continue
+                t_decode = time.perf_counter_ns()
+                wait_ns += t_decode - t_wait
+                n, freq_count, dups, reply_seq = _RESULT_HEAD.unpack_from(reply, 0)
+                if reply_seq != seq:
+                    # A reply surviving from a window the router already
+                    # abandoned (an earlier timeout fill-down): the ring
+                    # is desynchronized — answer ERROR and resync by
+                    # respawning the worker (fresh rings, seq 0).
+                    logger.error(
+                        "shard worker %d reply seq %d != expected %d; respawning",
+                        shard,
+                        reply_seq,
+                        seq,
+                    )
+                    self._fill_down(ticket, rows)
+                    worker.respawn()
+                    store._stats_cache[shard] = (0,) * _STATS_FIELDS
+                    store.respawns += 1
+                    continue
+                at = _RESULT_HEAD.size
+                if freq_count:
+                    store._freq_pending.extend(
+                        struct.unpack_from(f"<{freq_count}I", reply, at)
+                    )
+                at += 4 * freq_count
+                prev = store._stats_cache[shard]
+                row_stats = _unpack_stats(reply, at)
+                store._note_stats(shard, row_stats)
+                cache_hits += row_stats[14] - prev[14]
+                cache_misses += row_stats[15] - prev[15]
+                at += _STATS_STRUCT.size
+                dup_count += dups
+                if vector:
+                    statuses, values, sizes = decode_response_columns(reply, at)
+                    t_scatter = time.perf_counter_ns()
+                    decode_ns += t_scatter - t_decode
+                    if rows is None:
+                        statuses_col[:] = statuses
+                        sizes_col[:] = sizes
+                        values_col[:] = values
+                    else:
+                        statuses_col[rows] = statuses
+                        sizes_col[rows] = sizes
+                        values_col[rows] = values
+                    scatter_ns += time.perf_counter_ns() - t_scatter
+                else:
+                    statuses, values, sizes = decode_response_block(reply, at)
+                    t_scatter = time.perf_counter_ns()
+                    decode_ns += t_scatter - t_decode
+                    rows_iter = range(n) if rows is None else rows
+                    ok = ResponseStatus.OK
+                    for local, row in enumerate(rows_iter):
+                        code = statuses[local]
+                        value = values[local]
+                        statuses_col[row] = code
+                        sizes_col[row] = sizes[local]
+                        if code == 0:
+                            responses[row] = Response(ok, value)
+                            read_values[row] = value
+                        else:
+                            responses[row] = _BY_CODE.get(
+                                code, Response(ResponseStatus(code))
+                            )
+                    scatter_ns += time.perf_counter_ns() - t_scatter
+                depth = max(depth, worker.take_high_water_bytes())
+                stall_ns += worker.take_ring_stall_ns()
+        finally:
+            ticket.done = True
+            if ticket in inflight:
+                inflight.remove(ticket)
+
+        if vector:
+            t_scatter = time.perf_counter_ns()
+            values_l = values_col.tolist()
+            ok = ResponseStatus.OK
+            if not statuses_col.any():
+                # All-OK window (GET-heavy steady state): materialize with
+                # one C-level map instead of a per-row branch loop.
+                responses[:] = map(partial(Response, ok), values_l)
+                read_values[:] = values_l
+                statuses_l = [0] * len(values_l)
+            else:
+                statuses_l = statuses_col.tolist()
+                by_code = _MERGE_BY_CODE
+                for row, code in enumerate(statuses_l):
+                    if code == 0:
+                        value = values_l[row]
+                        responses[row] = Response(ok, value)
+                        read_values[row] = value
+                    else:
+                        responses[row] = by_code.get(code) or Response(
+                            ResponseStatus(code)
+                        )
+            plane.response_statuses = statuses_l
+            plane.response_sizes = sizes_col.tolist()
+            scatter_ns += time.perf_counter_ns() - t_scatter
+        else:
+            plane.response_statuses = statuses_col
+            plane.response_sizes = sizes_col
+        # Every row is answered by construction (replies merge in, dead
+        # workers fill down); take_responses can skip its per-row scan.
+        plane.responses_complete = True
+        if dup_count or cache_hits or cache_misses:
+            from repro.engine.hotpath import HotPathState
+
+            hotpath = HotPathState()
+            hotpath.finished = True
+            hotpath.dup_count = dup_count
+            hotpath.cache_hits = cache_hits
+            hotpath.cache_misses = cache_misses
+            plane.hotpath = hotpath
+
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            num_shards = store.num_shards
+            largest = max(ticket.shard_sizes) if ticket.shard_sizes else 0
+            ideal = plane.size / num_shards if num_shards else 0
+            registry = telemetry.registry
+            registry.gauge(
+                "repro_shard_imbalance",
+                help="Largest shard sub-batch over the ideal even split",
+            ).set(largest / ideal if ideal else 0.0)
+            registry.gauge(
+                "repro_procshard_queue_depth_bytes",
+                help="Per-window ring-backlog high-water mark, both directions",
+            ).set(depth)
+            registry.histogram(
+                "repro_procshard_encode_ns",
+                help="Split + sub-batch column gather + encode per window (ns)",
+            ).observe(ticket.encode_ns)
+            registry.histogram(
+                "repro_procshard_send_ns",
+                help="Ring send time per window (ns)",
+            ).observe(ticket.send_ns)
+            registry.histogram(
+                "repro_procshard_wait_ns",
+                help="Reply wait time per window (ns)",
+            ).observe(wait_ns)
+            registry.histogram(
+                "repro_procshard_decode_ns",
+                help="Reply block decode per window (ns)",
+            ).observe(decode_ns)
+            registry.histogram(
+                "repro_procshard_scatter_ns",
+                help="Response column scatter + materialization per window (ns)",
+            ).observe(scatter_ns)
+            registry.histogram(
+                "repro_procshard_ring_stall_ns",
+                help="Send-side ring backpressure stall per window (ns)",
+            ).observe(stall_ns)
+            registry.gauge(
+                "repro_procshard_inflight_windows",
+                help="Pipelined windows currently resident in worker rings",
+            ).set(len(inflight))
+            registry.gauge(
+                "repro_procshard_overlap_ratio",
+                help="Fraction of windows submitted while another was in flight",
+            ).set(self.overlap_ratio)
+        return ticket.claims
+
+    # ------------------------------------------------------------------ run
 
     def run(
         self,
@@ -774,136 +1287,42 @@ class ProcShardEngine:
             return self._fallback.run(
                 store, plan, plane, epoch=epoch, task_times=task_times
             )
+        return self.collect(self.submit(store, plan, plane, epoch=epoch))
 
-        num_shards = store.num_shards
-        keys = plane.keys
-        if num_shards == 1:
-            shard_rows: list[list[int] | None] = [None]
-        else:
-            assignment = self._assign(keys, num_shards)
-            rows: list[list[int]] = [[] for _ in range(num_shards)]
-            for row, shard in enumerate(assignment):
-                rows[shard].append(row)
-            shard_rows = rows
-
-        head = _BATCH_HEAD.pack(
-            store.current_skew, epoch, 1 if store._gate_caches else 0
-        )
-        qtypes, set_values = plane.qtypes, plane.set_values
-        statuses_col: list[int] = [0] * plane.size
-        sizes_col: list[int] = [0] * plane.size
-        sent: list[tuple[int, list[int] | None]] = []
-        depth = 0
-        for shard, rows in enumerate(shard_rows):
-            if rows is not None and not rows:
-                continue
-            worker = store.workers[shard]
-            block = encode_query_block(qtypes, keys, set_values, rows)
-            try:
-                worker.send(bytes([MSG_BATCH]), head, *block)
-            except WorkerDiedError:
-                self._fill_down(plane, rows, statuses_col, sizes_col)
-                continue
-            depth = max(depth, worker.queue_depth_bytes)
-            sent.append((shard, rows))
-
-        responses = plane.responses
-        read_values = plane.read_values
-        dup_count = 0
-        cache_hits = cache_misses = 0
-        for shard, rows in sent:
-            worker = store.workers[shard]
-            try:
-                reply = worker.recv_reply()
-            except WorkerDiedError:
-                self._fill_down(plane, rows, statuses_col, sizes_col)
-                continue
-            n, freq_count, dups, _ = _RESULT_HEAD.unpack_from(reply, 0)
-            at = _RESULT_HEAD.size
-            if freq_count:
-                store._freq_pending.extend(
-                    struct.unpack_from(f"<{freq_count}I", reply, at)
-                )
-            at += 4 * freq_count
-            prev = store._stats_cache[shard]
-            row_stats = _unpack_stats(reply, at)
-            store._note_stats(shard, row_stats)
-            cache_hits += row_stats[14] - prev[14]
-            cache_misses += row_stats[15] - prev[15]
-            at += _STATS_STRUCT.size
-            dup_count += dups
-            statuses, values, sizes = decode_response_block(reply, at)
-            if rows is None:
-                rows_iter = range(n)
-            else:
-                rows_iter = rows
-            ok = ResponseStatus.OK
-            for local, row in enumerate(rows_iter):
-                code = statuses[local]
-                value = values[local]
-                statuses_col[row] = code
-                sizes_col[row] = sizes[local]
-                if code == 0:
-                    responses[row] = Response(ok, value)
-                    read_values[row] = value
-                else:
-                    responses[row] = _BY_CODE.get(
-                        code, Response(ResponseStatus(code))
-                    )
-
-        plane.response_statuses = statuses_col
-        plane.response_sizes = sizes_col
-        if dup_count or cache_hits or cache_misses:
-            from repro.engine.hotpath import HotPathState
-
-            hotpath = HotPathState()
-            hotpath.finished = True
-            hotpath.dup_count = dup_count
-            hotpath.cache_hits = cache_hits
-            hotpath.cache_misses = cache_misses
-            plane.hotpath = hotpath
-
-        telemetry = get_telemetry()
-        if telemetry.enabled:
-            sizes_rows = [
-                plane.size if rows is None else len(rows) for rows in shard_rows
-            ]
-            largest = max(sizes_rows) if sizes_rows else 0
-            ideal = plane.size / num_shards if num_shards else 0
-            telemetry.registry.gauge(
-                "repro_shard_imbalance",
-                help="Largest shard sub-batch over the ideal even split",
-            ).set(largest / ideal if ideal else 0.0)
-            telemetry.registry.gauge(
-                "repro_procshard_queue_depth_bytes",
-                help="Deepest worker inbound-ring backlog at batch dispatch",
-            ).set(depth)
-        return {}
-
-    @staticmethod
-    def _fill_down(plane, rows, statuses_col, sizes_col) -> None:
-        """Answer a dead worker's rows with ERROR (serve loop survives)."""
-        rows_iter = range(plane.size) if rows is None else rows
+    def _fill_down(self, ticket: ProcShardTicket, rows) -> None:
+        """Answer a window's rows with ERROR (serve loop survives)."""
+        plane = ticket.plane
         code = ResponseStatus.ERROR.value
         wire = _WORKER_DOWN.wire_size
-        responses = plane.responses
-        read_values = plane.read_values
-        for row in rows_iter:
-            responses[row] = _WORKER_DOWN
-            read_values[row] = None
-            statuses_col[row] = code
-            sizes_col[row] = wire
+        if ticket.vector:
+            idx = slice(None) if rows is None else rows
+            ticket.statuses_col[idx] = code
+            ticket.sizes_col[idx] = wire
+            count = plane.size if rows is None else len(rows)
+        else:
+            rows_iter = range(plane.size) if rows is None else rows
+            responses = plane.responses
+            read_values = plane.read_values
+            statuses_col = ticket.statuses_col
+            sizes_col = ticket.sizes_col
+            for row in rows_iter:
+                responses[row] = _WORKER_DOWN
+                read_values[row] = None
+                statuses_col[row] = code
+                sizes_col[row] = wire
+            count = len(rows_iter)
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.registry.counter(
                 "repro_procshard_worker_errors_total",
                 help="Rows answered ERROR because their shard worker died",
-            ).inc(len(rows_iter))
+            ).inc(count)
 
 
 __all__ = [
     "ProcShardEngine",
     "ProcShardStore",
+    "ProcShardTicket",
     "ShardWorker",
     "WorkerDiedError",
     "WorkerFailedError",

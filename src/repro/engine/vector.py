@@ -73,7 +73,7 @@ _MASK64 = (1 << 64) - 1
 _SIG_MASK32 = (1 << 32) - 1
 
 
-def fnv_hash_columns(keys: list[bytes], num_states: int):
+def fnv_hash_columns(keys: list[bytes], num_states: int, lens=None):
     """64-bit FNV-1a of every key under seeds ``0..num_states-1``, batched.
 
     Returns a ``(num_states, len(keys))`` uint64 array where row ``s``
@@ -82,7 +82,9 @@ def fnv_hash_columns(keys: list[bytes], num_states: int):
     the same byte column per step, so the whole batch costs one pass over
     ``max_key_len`` byte columns regardless of how many hash functions the
     index uses.  Keys longer than :data:`MAX_VECTOR_KEY_BYTES` are hashed
-    scalar and patched into the result.
+    scalar and patched into the result.  ``lens`` may carry a precomputed
+    per-key byte-length column (any integer dtype) so callers that already
+    built one don't pay a second pass over the keys.
     """
     n = len(keys)
     prime = np.uint64(_FNV_PRIME)
@@ -91,7 +93,10 @@ def fnv_hash_columns(keys: list[bytes], num_states: int):
         states[seed, :] = np.uint64(_FNV_OFFSET ^ (seed * _FNV_PRIME & _MASK64))
     if n == 0:
         return states
-    lens = np.fromiter(map(len, keys), dtype=np.intp, count=n)
+    if lens is None:
+        lens = np.fromiter(map(len, keys), dtype=np.intp, count=n)
+    else:
+        lens = np.asarray(lens, dtype=np.intp)
     max_len = int(lens.max())
     uniform = bool((lens == max_len).all())
     if uniform and max_len <= MAX_VECTOR_KEY_BYTES:
@@ -120,7 +125,7 @@ def fnv_hash_columns(keys: list[bytes], num_states: int):
 class _VectorScratch:
     """Per-batch columnar state the vector passes hand to each other."""
 
-    __slots__ = ("hit_rows", "hit_locs", "multi_hits", "rd_rows", "rd_locs", "value_rows", "value_lens")
+    __slots__ = ("hit_rows", "hit_locs", "multi_hits", "rd_rows", "rd_locs", "rd_objs", "value_rows", "value_lens")
 
     def __init__(self) -> None:
         #: Plane indices whose Search matched exactly one candidate, and
@@ -129,9 +134,11 @@ class _VectorScratch:
         self.hit_locs: list[int] = []
         #: Plane index -> candidate locations, for the rare multi-match.
         self.multi_hits: dict[int, list[int]] = {}
-        #: Plane indices (and locations) that survived key-compare.
+        #: Plane indices (and locations) that survived key-compare, plus
+        #: the fetched records so RD never re-probes the heap.
         self.rd_rows: list[int] = []
         self.rd_locs: list[int] = []
+        self.rd_objs: list = []
         #: Plane indices (and value byte lengths) of GET hits, for the
         #: response-size column.
         self.value_rows: list[int] = []
@@ -189,6 +196,10 @@ class VectorEngine(SerialEngine):
         hit_locs = scratch.hit_locs
         qtypes = plane.qtypes
         get_type = QueryType.GET
+        # Columnar batches carry the wire opcode column; one boolean mask
+        # replaces the per-hit ``qtypes[row] is GET`` interpreter branch.
+        opcodes = plane.opcodes
+        get_mask = opcodes == 1 if opcodes is not None else None
         delta = getattr(store, "delta_index", None)
         if delta is not None and len(delta):
             # Delta pre-filter: one searchsorted against the delta's sorted
@@ -236,12 +247,18 @@ class VectorEngine(SerialEngine):
                 first_locs = loc_slots[local, first_slot]
                 single = counts == 1
                 resolved_planes = plane_rows[resolved]
-                for row, loc in zip(
-                    resolved_planes[single].tolist(), first_locs[single].tolist()
-                ):
-                    if qtypes[row] is get_type:
-                        hit_rows.append(row)
-                        hit_locs.append(loc)
+                if get_mask is not None:
+                    single_rows = resolved_planes[single]
+                    keep = get_mask[single_rows]
+                    hit_rows.extend(single_rows[keep].tolist())
+                    hit_locs.extend(first_locs[single][keep].tolist())
+                else:
+                    for row, loc in zip(
+                        resolved_planes[single].tolist(), first_locs[single].tolist()
+                    ):
+                        if qtypes[row] is get_type:
+                            hit_rows.append(row)
+                            hit_locs.append(loc)
                 for li in np.nonzero(~single)[0].tolist():
                     row = int(resolved_planes[li])
                     locs = loc_slots[local[li]][match[local[li]]].tolist()
@@ -259,32 +276,41 @@ class VectorEngine(SerialEngine):
         if scratch is None:
             SerialEngine._pass_kc(store, plane, indices)
             return
-        heap_get = store.heap.get
+        heap = store.heap
+        probe = getattr(heap, "probe", None)
+        if probe is None:
+            heap_get = heap.get
+            probe = lambda loc: heap_get(loc, touch=False)  # noqa: E731
         keys = plane.keys
         locations = plane.locations
         rd_rows = scratch.rd_rows
         rd_locs = scratch.rd_locs
+        rd_objs = scratch.rd_objs
         false_positives = 0
         for row, loc in zip(scratch.hit_rows, scratch.hit_locs):
-            obj = heap_get(loc, touch=False)
+            obj = probe(loc)
             if obj is not None and obj.key == keys[row]:
                 locations[row] = loc
                 rd_rows.append(row)
                 rd_locs.append(loc)
+                rd_objs.append(obj)
             else:
                 false_positives += 1
         for row, candidates in scratch.multi_hits.items():
             match = None
+            match_obj = None
             for loc in candidates:
-                obj = heap_get(loc, touch=False)
+                obj = probe(loc)
                 if obj is not None and obj.key == keys[row]:
                     match = loc
+                    match_obj = obj
                 else:
                     false_positives += 1
             if match is not None:
                 locations[row] = match
                 rd_rows.append(row)
                 rd_locs.append(match)
+                rd_objs.append(match_obj)
         store.stats.signature_false_positives += false_positives
 
     # ------------------------------------------------------------------- RD
@@ -294,15 +320,24 @@ class VectorEngine(SerialEngine):
         if scratch is None:
             SerialEngine._pass_rd(store, plane, indices, epoch)
             return
-        heap_get = store.heap.get
         read_values = plane.read_values
         value_rows = scratch.value_rows
         value_lens = scratch.value_lens
+        # KC already fetched every surviving record; re-fetching by location
+        # here would repeat the dict probe per row.  Heaps that expose a bulk
+        # recency refresh take it in one call (same tick order the per-row
+        # gets would assign); others re-fetch to keep their touch semantics.
+        rd_objs = scratch.rd_objs
+        touch_records = getattr(store.heap, "touch_records", None)
+        if touch_records is not None:
+            touch_records(rd_objs)
+        else:
+            heap_get = store.heap.get
+            rd_objs = [heap_get(loc) for loc in scratch.rd_locs]
         hotpath = plane.hotpath
         if hotpath is not None and hotpath.dups:
             dup_lookup = hotpath.dups.get
-            for row, loc in zip(scratch.rd_rows, scratch.rd_locs):
-                obj = heap_get(loc)
+            for row, obj in zip(scratch.rd_rows, rd_objs):
                 if obj is None:
                     continue
                 # One read answers the whole run; credit its multiplicity.
@@ -312,8 +347,7 @@ class VectorEngine(SerialEngine):
                 value_rows.append(row)
                 value_lens.append(len(value))
             return
-        for row, loc in zip(scratch.rd_rows, scratch.rd_locs):
-            obj = heap_get(loc)
+        for row, obj in zip(scratch.rd_rows, rd_objs):
             if obj is None:
                 continue
             obj.record_access(epoch)
@@ -335,8 +369,13 @@ class VectorEngine(SerialEngine):
         responses = plane.responses
         read_values = plane.read_values
         ok = ResponseStatus.OK
-        for i in plane.set_indices:
-            responses[i] = STORED_RESPONSE
+        # Consumers that only read the status/size/value columns (the
+        # procshard worker wire path) opt out of per-row Response objects;
+        # the columns below are computed either way.
+        wants_responses = plane.wants_responses
+        if wants_responses:
+            for i in plane.set_indices:
+                responses[i] = STORED_RESPONSE
         if hotpath is not None and hotpath.prefilled:
             # Hot-path rows (cache-served runs and scattered duplicates)
             # already carry their shared Response; extend the value
@@ -353,19 +392,20 @@ class VectorEngine(SerialEngine):
                     value_lens.extend([len(value)] * len(dup_rows))
             # Every excluded row was prefilled by finish(); only the live
             # subset can still need a Response object.
-            get_rows = (
-                hotpath.get_live
-                if hotpath.get_live is not None
-                else plane.get_indices
-            )
-            for i in get_rows:
-                if responses[i] is None:
-                    value = read_values[i]
-                    if value is None:
-                        responses[i] = NOT_FOUND_RESPONSE
-                    else:
-                        responses[i] = Response(ok, value)
-        else:
+            if wants_responses:
+                get_rows = (
+                    hotpath.get_live
+                    if hotpath.get_live is not None
+                    else plane.get_indices
+                )
+                for i in get_rows:
+                    if responses[i] is None:
+                        value = read_values[i]
+                        if value is None:
+                            responses[i] = NOT_FOUND_RESPONSE
+                        else:
+                            responses[i] = Response(ok, value)
+        elif wants_responses:
             for i in plane.get_indices:
                 value = read_values[i]
                 if value is None:
@@ -382,7 +422,9 @@ class VectorEngine(SerialEngine):
             status_col[plane.set_indices] = _STORED_CODE
         if scratch.value_rows:
             status_col[scratch.value_rows] = _OK_CODE
-        statuses = status_col.tolist()
+        # Column-only consumers keep the ndarray (the wire framer casts it
+        # for free); Response consumers get the documented plain list.
+        statuses = status_col.tolist() if wants_responses else status_col
         for i in plane.delete_indices:
             response = responses[i]
             if response is not None:
@@ -395,4 +437,4 @@ class VectorEngine(SerialEngine):
             sizes[np.asarray(scratch.value_rows, dtype=np.intp)] += np.asarray(
                 scratch.value_lens, dtype=np.int64
             )
-        plane.response_sizes = sizes.tolist()
+        plane.response_sizes = sizes.tolist() if wants_responses else sizes

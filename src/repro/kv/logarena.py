@@ -174,6 +174,11 @@ class LogValueArena:
         self._segments: list[_Segment] = []
         self._head: _Segment | None = None
         self._entries: dict[int, LogRecord] = {}
+        #: Touch-free location probe (``probe(loc) -> LogRecord | None``),
+        #: bound once — the entry dict is only ever mutated in place.  The
+        #: vector key-compare pass calls this per candidate; the method
+        #: wrapper of :meth:`get` would double its cost.
+        self.probe = self._entries.get
         self._next_location = 0
         self._live_bytes = 0
         self._dead_bytes = 0
@@ -425,6 +430,19 @@ class LogValueArena:
             self._tick += 1
             record.segment.last_touch = self._tick
         return record
+
+    def touch_records(self, records) -> None:
+        """Refresh segment recency for already-fetched records, in order.
+
+        The vector engine's read pass holds the records its key-compare
+        pass fetched; this assigns the same per-record ticks a sequence of
+        ``get(location)`` calls would, without re-probing the entry dict.
+        """
+        tick = self._tick
+        for record in records:
+            tick += 1
+            record.segment.last_touch = tick
+        self._tick = tick
 
     def __contains__(self, location: int) -> bool:
         return location in self._entries

@@ -44,7 +44,12 @@ from multiprocessing import shared_memory
 
 from repro.errors import ReproError
 from repro.kv.protocol import QueryType
-from repro.net.wire import QueryColumns, RESPONSE_HEADER_BYTES, encode_response_window
+from repro.net.wire import (
+    QueryColumns,
+    RESPONSE_HEADER_BYTES,
+    decode_response_window,
+    encode_response_window,
+)
 
 try:
     import numpy as np
@@ -54,13 +59,23 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 #: Opcode -> QueryType, indexable by raw opcode (mirrors the wire table).
 _QTYPE_BY_OP = (None, QueryType.GET, QueryType.SET, QueryType.DELETE)
 
+#: ``id(QueryType) -> raw opcode``.  Keying by member identity skips both
+#: the enum's ``.value`` descriptor and its Python-level ``__hash__`` —
+#: ``id()`` and int hashing stay in C, and enum members are singletons so
+#: identity is a sound key.  The router maps a whole window's qtypes
+#: every batch, so the per-row delta is the point.
+_OP_BY_QTYPE_ID = {id(qtype): qtype.value for qtype in QueryType}
+
 #: Ring header: write counter (u64 @0), read counter (u64 @16, separate
 #: cache line would be nicer but 16 keeps the header compact), closed
-#: flag (u8 @32).  Data starts at 64.
+#: flag (u8 @32), queue-depth high-water mark (u64 @40, writer-updated so
+#: the depth of worker-written rings is visible to the router).  Data
+#: starts at 64.
 _RING_HEADER = 64
 _WRITE_OFF = 0
 _READ_OFF = 16
 _CLOSED_OFF = 32
+_HW_OFF = 40
 
 _U64 = struct.Struct("<Q")
 _U32 = struct.Struct("<I")
@@ -84,13 +99,16 @@ class ShmRing:
     byte offsets — ``write - read`` is the queue depth in bytes.
     """
 
-    __slots__ = ("shm", "capacity", "_buf", "_owner")
+    __slots__ = ("shm", "capacity", "_buf", "_owner", "stall_ns")
 
     def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
         self.shm = shm
         self.capacity = shm.size - _RING_HEADER
         self._buf = shm.buf
         self._owner = owner
+        #: Nanoseconds this side spent paused while the ring was full
+        #: (sender backpressure) — a local, per-process accumulator.
+        self.stall_ns = 0
 
     # ----------------------------------------------------------- lifecycle
 
@@ -169,6 +187,30 @@ class ShmRing:
             return 0
         return self._read_counter(_WRITE_OFF) - self._read_counter(_READ_OFF)
 
+    @property
+    def high_water_bytes(self) -> int:
+        """Deepest the queue has been since the last :meth:`take_high_water`.
+
+        Maintained by the *writer* side inside the shared header, so the
+        reader of a worker-written ring still sees the true mark.
+        """
+        if self._buf is None:
+            return 0
+        return self._read_counter(_HW_OFF)
+
+    def take_high_water(self) -> int:
+        """Read the high-water mark and re-arm it to the current depth.
+
+        The reset races benignly with a concurrent writer update — both
+        sides store whole u64 words, and a lost mark is re-established on
+        the writer's next chunk.
+        """
+        if self._buf is None:
+            return 0
+        mark = self._read_counter(_HW_OFF)
+        self._write_counter(_HW_OFF, self.pending_bytes)
+        return mark
+
     # ---------------------------------------------------------------- wait
 
     @staticmethod
@@ -183,6 +225,24 @@ class ShmRing:
             time.sleep(0.0001)
         else:
             time.sleep(0.001)
+
+    @staticmethod
+    def _pause_idle(spins: int) -> None:
+        # Deep backoff for a peer with *no work pending* (a shard worker
+        # between windows).  On an oversubscribed host the default ladder's
+        # 200 sched-yields per wait let every idle worker steal timeslices
+        # from the router mid-split — the dominant loss on 1-core hosts —
+        # so idle waits concede the core almost immediately.  The cost is
+        # up to ~2 ms of wake latency on the *first* message after an idle
+        # gap; double-buffered submit/collect pipelining avoids even that
+        # by keeping the next window resident in the ring before the
+        # worker finishes the current one.
+        if spins < 4:
+            time.sleep(0)
+        elif spins < 64:
+            time.sleep(0.0002)
+        else:
+            time.sleep(0.002)
 
     def _check(self, abort, deadline: float | None) -> None:
         if self.closed:
@@ -203,6 +263,13 @@ class ShmRing:
         """
         total = sum(len(p) for p in parts)
         deadline = time.monotonic() + timeout if timeout is not None else None
+        if len(parts) > 1 and total <= 0xFFFF:
+            # Typical batch/reply messages are a handful of small column
+            # parts; one join buys a single counter-publish ceremony
+            # instead of one per part.  Large messages keep streaming so
+            # they can exceed the ring capacity.
+            self._write_chunked(_U32.pack(total) + b"".join(parts), abort, deadline)
+            return
         self._write_chunked(_U32.pack(total), abort, deadline)
         for part in parts:
             if len(part):
@@ -218,11 +285,15 @@ class ShmRing:
         n = len(mv)
         spins = 0
         write = self._read_counter(_WRITE_OFF)
+        high_water = self._read_counter(_HW_OFF)
         while pos < n:
-            free = cap - (write - self._read_counter(_READ_OFF))
+            read = self._read_counter(_READ_OFF)
+            free = cap - (write - read)
             if free <= 0:
                 self._check(abort, deadline)
+                paused_at = time.perf_counter_ns()
                 self._pause(spins)
+                self.stall_ns += time.perf_counter_ns() - paused_at
                 spins += 1
                 continue
             spins = 0
@@ -232,17 +303,26 @@ class ShmRing:
             pos += chunk
             write += chunk
             self._write_counter(_WRITE_OFF, write)
+            depth = write - read
+            if depth > high_water:
+                high_water = depth
+                self._write_counter(_HW_OFF, high_water)
 
     # ---------------------------------------------------------------- recv
 
-    def recv(self, timeout: float | None = None, abort=None) -> bytes | None:
+    def recv(self, timeout: float | None = None, abort=None, idle: bool = False) -> bytes | None:
         """Read one message; ``None`` if no message started before timeout.
 
         Once a length prefix has been read the body read does not time
         out on its own (the writer is mid-message); abort/close still
-        interrupt it.
+        interrupt it.  ``idle=True`` waits for the *header* with the deep
+        :meth:`_pause_idle` backoff — for receivers that expect long gaps
+        between messages and should not poll a shared core while waiting;
+        the body read always uses the hot ladder (the writer is actively
+        streaming once a length prefix exists).
         """
-        header = self._read_exact(4, timeout, abort, allow_timeout=True)
+        pause = self._pause_idle if idle else self._pause
+        header = self._read_exact(4, timeout, abort, allow_timeout=True, pause=pause)
         if header is None:
             return None
         (length,) = _U32.unpack(header)
@@ -251,7 +331,7 @@ class ShmRing:
         body = self._read_exact(length, None, abort, allow_timeout=False)
         return bytes(body)
 
-    def _read_exact(self, n: int, timeout, abort, allow_timeout: bool):
+    def _read_exact(self, n: int, timeout, abort, allow_timeout: bool, pause=None):
         buf = self._buf
         cap = self.capacity
         out = bytearray(n)
@@ -259,6 +339,8 @@ class ShmRing:
         spins = 0
         deadline = time.monotonic() + timeout if timeout is not None else None
         read = self._read_counter(_READ_OFF)
+        if pause is None:
+            pause = self._pause
         while pos < n:
             avail = self._read_counter(_WRITE_OFF) - read
             if avail <= 0:
@@ -269,7 +351,7 @@ class ShmRing:
                         raise RingClosedError("ring closed by peer")
                 else:
                     self._check(abort, deadline if pos == 0 else None)
-                self._pause(spins)
+                pause(spins)
                 spins += 1
                 continue
             spins = 0
@@ -322,6 +404,120 @@ def encode_query_block(qtypes, keys, values, rows=None) -> list:
     ]
 
 
+class QueryBlockColumns:
+    """Whole-batch gather columns, precomputed once per window.
+
+    The router splits one batch across ``num_shards`` workers; building
+    per-row Python lists for every shard costs O(rows) interpreter work
+    per shard.  This precomputes NumPy object/length columns for the whole
+    batch so each shard's block is a handful of fancy-indexed gathers —
+    :meth:`encode` with a row array is byte-identical to
+    :func:`encode_query_block` with the same rows.
+
+    Only constructed when NumPy is present; numpy-less installs keep the
+    per-row :func:`encode_query_block` path.
+    """
+
+    __slots__ = ("size", "_keys", "_values", "_ops", "_klens", "_vlens", "_no_values")
+
+    def __init__(self, qtypes, keys, values, opcodes=None, key_lens=None, value_lens=None):
+        n = len(keys)
+        self.size = n
+        self._keys = keys if isinstance(keys, list) else list(keys)
+        if opcodes is not None:
+            self._ops = np.ascontiguousarray(opcodes, dtype=np.uint8)
+        else:
+            self._ops = np.frombuffer(
+                bytes(map(_OP_BY_QTYPE_ID.__getitem__, map(id, qtypes))),
+                dtype=np.uint8,
+            )
+        if key_lens is not None:
+            self._klens = np.ascontiguousarray(key_lens, dtype="<u4")
+        else:
+            self._klens = np.fromiter(map(len, keys), dtype="<u4", count=n)
+        # A window with no value bytes at all (the GET-heavy common case)
+        # skips the per-row value-length pass and the value-arena joins
+        # outright — the zero column and empty arena are byte-identical
+        # to what the general path emits.  ``any`` short-circuits on the
+        # first SET row, so write-heavy windows pay almost nothing.
+        self._no_values = not any(values)
+        if self._no_values:
+            self._values = None
+            self._vlens = np.zeros(n, dtype="<u4")
+        else:
+            self._values = values if isinstance(values, list) else list(values)
+            if value_lens is not None:
+                self._vlens = np.ascontiguousarray(value_lens, dtype="<u4")
+            else:
+                self._vlens = np.fromiter(map(len, values), dtype="<u4", count=n)
+
+    def encode(self, rows=None) -> list:
+        """Buffer parts for one shard's sub-batch (``rows=None`` = all)."""
+        if rows is None:
+            return [
+                _U32.pack(self.size),
+                self._ops.tobytes(),
+                self._klens.tobytes(),
+                self._vlens.tobytes(),
+                b"".join(self._keys),
+                _EMPTY if self._no_values else b"".join(self._values),
+            ]
+        rows_l = rows.tolist() if hasattr(rows, "tolist") else list(rows)
+        return [
+            _U32.pack(len(rows_l)),
+            self._ops[rows].tobytes(),
+            self._klens[rows].tobytes(),
+            self._vlens[rows].tobytes(),
+            b"".join(map(self._keys.__getitem__, rows_l)),
+            _EMPTY
+            if self._no_values
+            else b"".join(map(self._values.__getitem__, rows_l)),
+        ]
+
+    def sorted_spans(self, order) -> "SortedSpans":
+        """Permute every column once for span-sliced per-shard encoding.
+
+        ``order`` is the stable shard argsort of the whole window; each
+        shard's sub-batch is then the contiguous span ``[b, e)`` of the
+        sorted columns, so :meth:`SortedSpans.encode` is pure zero-copy
+        slicing — byte-identical to ``encode(order[b:e])`` at a quarter
+        of the gather cost.
+        """
+        return SortedSpans(self, order)
+
+
+class SortedSpans:
+    """One window's columns in shard order; see ``sorted_spans``."""
+
+    __slots__ = ("_keys", "_values", "_ops", "_klens", "_vlens", "_no_values")
+
+    def __init__(self, cols: QueryBlockColumns, order):
+        order_l = order.tolist()
+        self._keys = list(map(cols._keys.__getitem__, order_l))
+        self._ops = cols._ops[order]
+        self._klens = cols._klens[order]
+        self._no_values = cols._no_values
+        if cols._no_values:
+            self._values = None
+            self._vlens = cols._vlens  # all-zero: permutation-invariant
+        else:
+            self._values = list(map(cols._values.__getitem__, order_l))
+            self._vlens = cols._vlens[order]
+
+    def encode(self, begin: int, end: int) -> list:
+        """Buffer parts for the shard owning sorted rows ``[begin, end)``."""
+        return [
+            _U32.pack(end - begin),
+            self._ops[begin:end].tobytes(),
+            self._klens[begin:end].tobytes(),
+            self._vlens[begin:end].tobytes(),
+            b"".join(self._keys[begin:end]),
+            _EMPTY
+            if self._no_values
+            else b"".join(self._values[begin:end]),
+        ]
+
+
 def decode_query_block(buf, offset: int = 0) -> QueryColumns:
     """Decode one query block into :class:`~repro.net.wire.QueryColumns`.
 
@@ -335,8 +531,11 @@ def decode_query_block(buf, offset: int = 0) -> QueryColumns:
     klen_off = ops_off + n
     vlen_off = klen_off + 4 * n
     arena_off = vlen_off + 4 * n
-    mv = memoryview(buf)
-    ops = mv[ops_off:klen_off]
+    # A ``bytes`` buffer (what ShmRing.recv returns) slices straight to
+    # new ``bytes`` objects — half the per-row cost of the
+    # memoryview-then-copy dance, which only other buffer types need.
+    direct = type(buf) is bytes
+    mv = None if direct else memoryview(buf)
     if np is not None:
         klens = np.frombuffer(buf, dtype="<u4", count=n, offset=klen_off)
         vlens = np.frombuffer(buf, dtype="<u4", count=n, offset=vlen_off)
@@ -347,14 +546,29 @@ def decode_query_block(buf, offset: int = 0) -> QueryColumns:
         vlens_l = list(struct.unpack_from(f"<{n}I", buf, vlen_off))
     keys: list[bytes] = []
     at = arena_off
-    for length in klens_l:
-        keys.append(bytes(mv[at : at + length]))
-        at += length
-    values: list[bytes] = []
-    for length in vlens_l:
-        values.append(bytes(mv[at : at + length]) if length else _EMPTY)
-        at += length
-    ops_b = bytes(ops)
+    if direct:
+        for length in klens_l:
+            keys.append(buf[at : at + length])
+            at += length
+    else:
+        for length in klens_l:
+            keys.append(bytes(mv[at : at + length]))
+            at += length
+    if not any(vlens_l):
+        # GET-heavy blocks carry no value bytes at all; skip the per-row
+        # slice loop outright.
+        values: list[bytes] = [_EMPTY] * n
+    elif direct:
+        values = []
+        for length in vlens_l:
+            values.append(buf[at : at + length] if length else _EMPTY)
+            at += length
+    else:
+        values = []
+        for length in vlens_l:
+            values.append(bytes(mv[at : at + length]) if length else _EMPTY)
+            at += length
+    ops_b = buf[ops_off:klen_off] if direct else bytes(mv[ops_off:klen_off])
     qtypes = [_QTYPE_BY_OP[o] for o in ops_b]
     if np is None:
         return QueryColumns(qtypes, keys, values)
@@ -432,4 +646,23 @@ def decode_response_block(buf, offset: int = 0):
     for i, status in enumerate(statuses):
         if status != 0:
             values[i] = None
+    return statuses, values, sizes
+
+
+def decode_response_columns(buf, offset: int = 0):
+    """Vectorized :func:`decode_response_block`: NumPy column results.
+
+    Returns ``(statuses, values, sizes)`` where ``statuses``/``sizes``
+    are int64 arrays and ``values`` is an object array (``None`` for
+    non-OK rows) — ready for fancy-indexed scatter into whole-batch
+    response columns.  Falls back to the scalar decoder on numpy-less
+    installs (lists come back instead of arrays).
+    """
+    if np is None:  # pragma: no cover - exercised only on numpy-less installs
+        return decode_response_block(buf, offset)
+    (n,) = _U32.unpack_from(buf, offset)
+    sizes_off = offset + 4
+    window_off = sizes_off + 4 * n
+    sizes = np.frombuffer(buf, dtype="<u4", count=n, offset=sizes_off).astype(np.int64)
+    statuses, values = decode_response_window(buf, sizes, window_off)
     return statuses, values, sizes

@@ -111,6 +111,35 @@ class BatchResult:
         return sum(1 for r in self.responses if r.status is not ResponseStatus.ERROR)
 
 
+class PendingBatch:
+    """A batch submitted to a pipelined engine but not yet merged.
+
+    Produced by :meth:`FunctionalPipeline.submit_batch`, finished by
+    :meth:`FunctionalPipeline.collect_batch`.  When the engine (or store)
+    cannot pipeline, the batch ran synchronously at submit time and
+    ``result`` is already populated — collect just returns it.
+    """
+
+    __slots__ = ("ticket", "plane", "config", "engine", "num_queries", "result")
+
+    def __init__(
+        self,
+        *,
+        ticket=None,
+        plane=None,
+        config=None,
+        engine=None,
+        num_queries: int = 0,
+        result: BatchResult | None = None,
+    ):
+        self.ticket = ticket
+        self.plane = plane
+        self.config = config
+        self.engine = engine
+        self.num_queries = num_queries
+        self.result = result
+
+
 class FunctionalPipeline:
     """Executes batches against a :class:`~repro.kv.store.KVStore`.
 
@@ -234,6 +263,83 @@ class FunctionalPipeline:
             )
         return result
 
+    # --------------------------------------------------- pipelined windows
+
+    @property
+    def supports_pipelining(self) -> bool:
+        """Whether submit/collect can overlap windows on this store."""
+        return getattr(self.store, "is_procshard", False) and hasattr(
+            self._engine, "submit"
+        )
+
+    def submit_batch(self, config: PipelineConfig, queries) -> PendingBatch:
+        """Hand one window to the engine without waiting for its merge.
+
+        The returned :class:`PendingBatch` must be finished with
+        :meth:`collect_batch` (in submission order — the engine enforces
+        FIFO anyway).  Falls back to a synchronous :meth:`process_batch`
+        when the engine or store cannot pipeline, so callers can use the
+        submit/collect pair unconditionally.
+        """
+        engine = self._engine_for(config)
+        submit = getattr(engine, "submit", None)
+        if submit is None or not getattr(self.store, "is_procshard", False):
+            return PendingBatch(
+                result=self.process_batch(config, queries),
+                num_queries=len(queries),
+            )
+        plan = compile_stage_plan(config)
+        plane = BatchPlane(queries)
+        ticket = submit(self.store, plan, plane, epoch=self._epoch_source())
+        return PendingBatch(
+            ticket=ticket,
+            plane=plane,
+            config=config,
+            engine=engine,
+            num_queries=len(queries),
+        )
+
+    def collect_batch(self, pending: PendingBatch) -> BatchResult:
+        """Merge a submitted window into a :class:`BatchResult`."""
+        if pending.result is not None:
+            return pending.result
+        steal_claims = pending.engine.collect(pending.ticket)
+        plane = pending.plane
+        responses = plane.take_responses()
+        store = self.store
+        if getattr(store, "needs_maintenance", False):
+            store.maintenance()
+        self._batch_counter += 1
+        result = BatchResult(
+            responses=responses,
+            config_label=pending.config.label,
+            steal_claims=steal_claims,
+            response_sizes=plane.response_sizes,
+            response_statuses=plane.response_statuses,
+            response_values=plane.read_values
+            if plane.response_statuses is not None
+            else None,
+        )
+        pending.result = result
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # No per-task spans for a split window: the engine's per-stage
+            # ring timers (encode/send/wait/decode/scatter) carry the
+            # breakdown.  Batch/query counters stay honest.
+            telemetry.registry.counter(
+                "repro_pipeline_batches_total", help="Functional batches executed"
+            ).inc()
+            telemetry.registry.counter(
+                "repro_pipeline_queries_total",
+                help="Queries through the functional pipeline",
+            ).inc(pending.num_queries)
+            telemetry.registry.counter(
+                "repro_engine_batches_total",
+                help="Functional batches executed, by engine backend",
+            ).inc(engine=pending.engine.name)
+            self._emit_hotpath(telemetry, plane, pending.num_queries)
+        return result
+
     def _emit_batch(
         self,
         telemetry,
@@ -280,7 +386,13 @@ class FunctionalPipeline:
             "repro_engine_batches_total",
             help="Functional batches executed, by engine backend",
         ).inc(engine=engine.name)
-        hotpath = plane.hotpath if plane is not None else None
+        if plane is not None:
+            self._emit_hotpath(telemetry, plane, num_queries)
+
+    @staticmethod
+    def _emit_hotpath(telemetry, plane: BatchPlane, num_queries: int) -> None:
+        """Dedup/hot-cache effectiveness gauges for one batch's plane."""
+        hotpath = plane.hotpath
         if hotpath is not None:
             telemetry.registry.gauge(
                 "repro_batch_dedup_ratio",

@@ -53,6 +53,7 @@ import logging
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.dido import DidoSystem
@@ -157,6 +158,14 @@ class DidoUDPServer:
         Attach the write-absorbing delta index to the default-created
         system (ignored when an explicit ``system`` is passed).  Deltas
         merge at batch barriers and on the same 0.5 s maintenance tick.
+    pipeline_depth:
+        Window pipelining depth for procshard systems: with depth 2
+        (the default when the system supports it) the serve loop submits
+        window N+1 to the shard workers while window N's replies are
+        still pending, completing (and transmitting) the oldest window
+        only once the next is in flight — IPC transport hides under
+        worker compute.  Depth 1 keeps the synchronous dispatch.  Cluster
+        ownership filtering always runs synchronously regardless.
     """
 
     def __init__(
@@ -174,6 +183,7 @@ class DidoUDPServer:
         hot_cache: bool = False,
         heap: str = "log",
         delta_index: bool = False,
+        pipeline_depth: int | None = None,
     ):
         if coalesce_us is not None:
             if coalesce_us < 0:
@@ -189,6 +199,8 @@ class DidoUDPServer:
             )
         if drain_limit < 1:
             raise ConfigurationError("drain limit must be positive")
+        if pipeline_depth is not None and pipeline_depth < 1:
+            raise ConfigurationError("pipeline depth must be positive")
         self._owns_system = system is None
         self.system = system or DidoSystem(
             memory_bytes=64 << 20,
@@ -238,6 +250,16 @@ class DidoUDPServer:
         #: Next worker health check (procshard stores); throttled so the
         #: per-window cost is one monotonic read.
         self._next_maintenance = 0.0
+        if pipeline_depth is None:
+            pipeline_depth = (
+                2 if getattr(self.system, "supports_pipelining", False) else 1
+            )
+        self._pipeline_depth = pipeline_depth
+        #: Submitted-but-unmerged windows, oldest first:
+        #: ``(pending_handle, batch, pending_segments)``.  Completion is
+        #: strictly FIFO so every peer still sees its responses in
+        #: submission order.
+        self._inflight_windows: deque = deque()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -267,6 +289,14 @@ class DidoUDPServer:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+        try:
+            # Windows submitted before the stop still owe their peers
+            # responses; the serve thread has exited, so drain here
+            # (before the socket closes under the TX path).
+            self._drain_inflight_windows()
+        except Exception:  # pragma: no cover - teardown best-effort
+            logger.exception("failed to drain in-flight windows on stop")
+            self._inflight_windows.clear()
         try:
             self._socket.close()
         except OSError:  # pragma: no cover - double close
@@ -333,6 +363,11 @@ class DidoUDPServer:
         deadline = (
             time.monotonic() + self._batch_window_s if pending else None
         )
+        if deadline is None and self._inflight_windows:
+            # Windows are in flight: cap the blocking wait at one coalesce
+            # window so a traffic lull drains (and transmits) them quickly
+            # instead of holding replies for the full poll timeout.
+            deadline = time.monotonic() + self._batch_window_s
         polls = 0
         drained = 0
         while count < self._batch_size:
@@ -376,6 +411,7 @@ class DidoUDPServer:
                     help="Datagrams drained from the kernel per receive poll",
                 ).set(drained / polls)
         if not pending:
+            self._drain_inflight_windows()
             return
         batch = self._cut_batch(pending)
         self._process_window(batch)
@@ -493,10 +529,45 @@ class DidoUDPServer:
                     batch.extend(segment)
         ownership = self.ownership
         if ownership is not None:
+            # Cluster serving: ownership filtering (and migration's batch
+            # hook) reason about one window at a time — run synchronously
+            # behind any windows already in flight.
+            self._drain_inflight_windows()
             result = self._process_owned(batch, ownership)
+        elif (
+            self._pipeline_depth > 1
+            and self.batch_hook is None
+            and getattr(self.system, "supports_pipelining", False)
+        ):
+            self._submit_window(batch, pending)
+            return
         else:
+            self._drain_inflight_windows()
             result = self.system.process(batch)
             self._observe_batch(batch)
+        self._finish_window(pending, batch, result)
+
+    def _submit_window(self, batch, pending) -> None:
+        """Pipelined dispatch: hand the window to the shard workers and
+        return to coalescing; the oldest window completes (merge + TX)
+        once the in-flight count reaches the pipeline depth."""
+        handle = self.system.process_submit(batch)
+        self._inflight_windows.append((handle, batch, pending))
+        while len(self._inflight_windows) >= self._pipeline_depth:
+            self._complete_oldest_window()
+
+    def _complete_oldest_window(self) -> None:
+        handle, batch, pending = self._inflight_windows.popleft()
+        result = self.system.process_collect(handle)
+        self._observe_batch(batch)
+        self._finish_window(pending, batch, result)
+
+    def _drain_inflight_windows(self) -> None:
+        while self._inflight_windows:
+            self._complete_oldest_window()
+
+    def _finish_window(self, pending, batch, result) -> None:
+        """Stats, counters, and response TX for one completed window."""
         self.stats.queries += len(batch)
         self.stats.batches += 1
         telemetry = get_telemetry()

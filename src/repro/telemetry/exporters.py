@@ -238,6 +238,23 @@ DELTA_SERIES = (
     "repro_delta_merge_ns",
 )
 
+#: Procshard pipelined-IPC breakdown: where a window's wall time goes
+#: (gather/encode, ring send, reply wait, response decode, result
+#: scatter), writer-side ring backpressure, and how deep the in-flight
+#: overlap actually runs (see ``--pipeline-depth`` and
+#: :class:`repro.engine.procshard.ProcShardEngine`).
+PROCSHARD_SERIES = (
+    "repro_procshard_encode_ns",
+    "repro_procshard_send_ns",
+    "repro_procshard_wait_ns",
+    "repro_procshard_decode_ns",
+    "repro_procshard_scatter_ns",
+    "repro_procshard_ring_stall_ns",
+    "repro_procshard_queue_depth_bytes",
+    "repro_procshard_inflight_windows",
+    "repro_procshard_overlap_ratio",
+)
+
 
 def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
     """Human-readable digest: metric totals, coalescing gauges, recent events."""
@@ -247,11 +264,15 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
         lines.append("(no metrics recorded)")
     for name, entry in snapshot.items():
         if entry["kind"] == "histogram":
+            # Nanosecond-valued timers (the ``*_ns`` series) render in us
+            # like everything else instead of inheriting a wrong suffix.
+            scale = 1e3 if name.endswith("_ns") else 1.0
             for labels, slot in sorted(entry["samples"].items()):
                 mean = slot["sum"] / slot["count"] if slot["count"] else 0.0
                 label_text = f"{{{labels}}}" if labels else ""
                 lines.append(
-                    f"  {name}{label_text}: n={slot['count']} mean={mean:.1f}us"
+                    f"  {name}{label_text}: n={slot['count']} "
+                    f"mean={mean / scale:.1f}us"
                 )
         else:
             for labels, value in sorted(entry["samples"].items()):
@@ -286,6 +307,24 @@ def console_summary(telemetry: Telemetry, max_events: int = 10) -> str:
         lines.append("")
         lines.append("delta index")
         for name in delta:
+            entry = snapshot[name]
+            if entry["kind"] == "histogram":
+                for labels, slot in sorted(entry["samples"].items()):
+                    mean = slot["sum"] / slot["count"] if slot["count"] else 0.0
+                    label_text = f"{{{labels}}}" if labels else ""
+                    lines.append(
+                        f"  {name}{label_text}: n={slot['count']} "
+                        f"mean={mean / 1e3:.1f}us"
+                    )
+            else:
+                for labels, value in sorted(entry["samples"].items()):
+                    label_text = f"{{{labels}}}" if labels else ""
+                    lines.append(f"  {name}{label_text}: {value:g}")
+    procshard = [name for name in PROCSHARD_SERIES if name in snapshot]
+    if procshard:
+        lines.append("")
+        lines.append("procshard pipeline")
+        for name in procshard:
             entry = snapshot[name]
             if entry["kind"] == "histogram":
                 for labels, slot in sorted(entry["samples"].items()):

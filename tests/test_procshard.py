@@ -35,15 +35,18 @@ from repro.errors import ConfigurationError
 from repro.kv.protocol import Query, QueryType, ResponseStatus, encode_responses
 from repro.kv.store import KVStore
 from repro.net.arena import (
+    QueryBlockColumns,
     RingClosedError,
     ShmRing,
     decode_query_block,
     decode_response_block,
+    decode_response_columns,
     encode_query_block,
     encode_response_block,
 )
 from repro.pipeline.functional import FunctionalPipeline
 from repro.pipeline.megakv import megakv_coupled_config
+from repro.telemetry import configure as configure_telemetry
 
 from test_engine import workload_batches
 
@@ -131,6 +134,54 @@ class TestShmRing:
         ring.close()
         assert ring.name not in shm_segments()
 
+    def test_high_water_tracks_peak_backlog(self):
+        """ISSUE satellite: the header high-water field records the peak
+        byte depth since the last sample, not the instantaneous depth."""
+        ring = ShmRing.create(4096)
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.send(b"x" * 100)
+            ring.send(b"y" * 50)
+            assert ring.high_water_bytes == 104 + 54  # prefixes + bodies
+            assert peer.recv(timeout=1.0) is not None
+            assert peer.recv(timeout=1.0) is not None
+            # The peak survives the drain; take_high_water() hands it over
+            # and re-arms the mark at the (now empty) current depth.
+            assert ring.pending_bytes == 0
+            assert ring.take_high_water() == 158
+            assert ring.take_high_water() == 0
+            ring.send(b"z")
+            assert ring.take_high_water() == 5
+        finally:
+            peer.close()
+            ring.close()
+
+    def test_writer_stall_accumulates_only_on_backpressure(self):
+        """ISSUE satellite: ``stall_ns`` counts writer-side full-ring
+        pauses; an idle reader-side wait must not contribute."""
+        ring = ShmRing.create(1024)
+        peer = ShmRing.attach(ring.name)
+        blob = os.urandom(4096)
+        out = []
+
+        def late_read():
+            time.sleep(0.05)
+            out.append(peer.recv(timeout=5.0))
+
+        reader = threading.Thread(target=late_read)
+        reader.start()
+        try:
+            assert ring.stall_ns == 0
+            ring.send(blob, timeout=5.0)  # > capacity: writer must wait
+            reader.join(timeout=5.0)
+            assert out == [blob]
+            assert ring.stall_ns > 0
+            # The reader's own ring never saw backpressure.
+            assert peer.stall_ns == 0
+        finally:
+            peer.close()
+            ring.close()
+
 
 # -------------------------------------------------------------- block codecs
 
@@ -180,6 +231,36 @@ class TestBlockCodecs:
         )
         _, values, _ = decode_response_block(buf)
         assert values == [b"", None]
+
+    def test_query_block_columns_bytes_match_scalar_encoder(self):
+        """ISSUE tentpole: the precomputed gather-encoder emits the exact
+        bytes of the per-row encoder, full batch and row subsets alike."""
+        qtypes = [QueryType.SET, QueryType.GET, QueryType.DELETE,
+                  QueryType.SET, QueryType.GET]
+        keys = [b"alpha", b"", b"y" * 70, b"k", b"zz"]
+        values = [b"v1", b"", b"", b"x" * 33, b""]
+        columns = QueryBlockColumns(qtypes, keys, values)
+        for rows in (None, [0, 2, 4], [1], list(range(5))):
+            expected = b"".join(
+                encode_query_block(qtypes, keys, values, rows=rows)
+            )
+            assert b"".join(columns.encode(rows)) == expected, rows
+
+    def test_decode_response_columns_matches_scalar_decoder(self):
+        statuses = [
+            ResponseStatus.OK.value,
+            ResponseStatus.NOT_FOUND.value,
+            ResponseStatus.STORED.value,
+            ResponseStatus.OK.value,
+            ResponseStatus.OK.value,
+        ]
+        values = [b"payload", None, None, b"", b"x" * 90]
+        buf = b"".join(encode_response_block(statuses, values))
+        ref_statuses, ref_values, ref_sizes = decode_response_block(buf)
+        col_statuses, col_values, col_sizes = decode_response_columns(buf)
+        assert list(col_statuses) == ref_statuses
+        assert list(col_values) == ref_values
+        assert list(col_sizes) == ref_sizes
 
 
 # ------------------------------------------------------------- store facade
@@ -321,18 +402,21 @@ class TestWorkerCrash:
 
 # ------------------------------------------------- byte-identity (property)
 
-_STORES: dict[tuple[int, bool, bool], ProcShardStore] = {}
+_STORES: dict[tuple[int, bool, bool, bool], ProcShardStore] = {}
 
 
-def _pooled_store(shards: int, dedup: bool, hot_cache: bool) -> ProcShardStore:
+def _pooled_store(
+    shards: int, dedup: bool, hot_cache: bool, delta_index: bool = False
+) -> ProcShardStore:
     """Persistent worker fleets reused across hypothesis examples (spawning
     14 processes per example would dominate the suite); reset() between
     examples rebuilds every shard's store fresh."""
-    key = (shards, dedup, hot_cache)
+    key = (shards, dedup, hot_cache, delta_index)
     store = _STORES.get(key)
     if store is None:
         store = _STORES[key] = ProcShardStore(
-            32 << 20, 2048, shards, dedup=dedup, hot_cache=hot_cache
+            32 << 20, 2048, shards,
+            dedup=dedup, hot_cache=hot_cache, delta_index=delta_index,
         )
     else:
         store.reset()
@@ -469,6 +553,190 @@ class TestProcShardSystem:
         assert plane.take_responses()[1].value == b"1"
 
 
+# -------------------------------------------- pipelined IPC (submit/collect)
+
+
+def run_pipeline_overlapped(store, engine, config, batches):
+    """Submit every window before collecting any: windows overlap in
+    flight (the engine itself caps residency at the double-buffer bound,
+    completing the oldest window when a third submit arrives)."""
+    pipeline = FunctionalPipeline(store, engine=engine)
+    pending = [pipeline.submit_batch(config, batch) for batch in batches]
+    frames = []
+    for handle in pending:
+        result = pipeline.collect_batch(handle)
+        frames.append(b"".join(f.payload for f in result.frames))
+    return frames
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(ops_strategy, min_size=2, max_size=4))
+def test_pipelined_byte_identical_to_synchronous(batches_ops):
+    """ISSUE satellite: pipelined submit/collect vs the synchronous run()
+    contract across shard counts {1, 2, 4, 7} x (dedup, hot-cache,
+    delta-index) flags, both byte-identical to the ReferenceEngine."""
+    config = megakv_coupled_config()
+    batches = [_queries_from_ops(ops) for ops in batches_ops]
+    baseline = run_pipeline(KVStore(32 << 20, 2048), "reference", config, batches)
+    for shards in SHARD_COUNTS:
+        for dedup, hot_cache, delta in (
+            (False, False, False),
+            (True, True, True),
+        ):
+            store = _pooled_store(shards, dedup, hot_cache, delta)
+            sync = run_pipeline(store, ProcShardEngine(), config, batches)
+            store.reset()
+            overlapped = run_pipeline_overlapped(
+                store, ProcShardEngine(), config, batches
+            )
+            flags = f"shards={shards} dedup={dedup} hot={hot_cache} delta={delta}"
+            assert sync == baseline, flags
+            assert overlapped == baseline, flags
+
+
+class TestPipelinedEngine:
+    def test_scalar_fallback_matches_vectorized_merge(self):
+        """``vectorize=False`` keeps the per-row split/merge loops; both
+        paths must produce identical response frames."""
+        config = megakv_coupled_config()
+        batches = [list(b) for b in workload_batches(batches=2, size=128)]
+        vec_store = ProcShardStore(8 << 20, 2048, 3)
+        scalar_store = ProcShardStore(8 << 20, 2048, 3)
+        try:
+            vector = run_pipeline(
+                vec_store, ProcShardEngine(vectorize=True), config, batches
+            )
+            scalar = run_pipeline(
+                scalar_store, ProcShardEngine(vectorize=False), config, batches
+            )
+            assert vector == scalar
+        finally:
+            vec_store.close()
+            scalar_store.close()
+
+    def test_overlap_counters_and_inflight_cap(self):
+        store = ProcShardStore(4 << 20, 2048, 2)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        try:
+            store.populate([(b"a", b"1"), (b"b", b"2")])
+            planes = [
+                BatchPlane(
+                    [Query(QueryType.GET, b"a"), Query(QueryType.GET, b"b")]
+                )
+                for _ in range(3)
+            ]
+            tickets = [
+                engine.submit(store, plan, plane, epoch=i)
+                for i, plane in enumerate(planes)
+            ]
+            # The third submit forced the oldest window to complete: the
+            # in-flight set never exceeds the double-buffer bound.
+            assert tickets[0].done
+            assert len(store._inflight) <= 2
+            for ticket, plane in zip(tickets, planes):
+                engine.collect(ticket)
+                values = [r.value for r in plane.take_responses()]
+                assert values == [b"1", b"2"]
+            assert not store._inflight
+            assert engine.windows_submitted == 3
+            assert engine.windows_overlapped == 2
+            assert engine.overlap_ratio == pytest.approx(2 / 3)
+            # collect() is idempotent on a completed ticket.
+            engine.collect(tickets[0])
+        finally:
+            store.close()
+
+    def test_control_plane_round_trip_drains_inflight(self):
+        """A facade round trip (stats refresh) must not consume a pending
+        batch reply off the FIFO ring: it drains in-flight windows first."""
+        store = ProcShardStore(4 << 20, 2048, 2)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        try:
+            store.populate([(b"a", b"1")])
+            plane = BatchPlane([Query(QueryType.GET, b"a")])
+            ticket = engine.submit(store, plan, plane, epoch=1)
+            assert store._inflight
+            assert len(store) == 1  # control-plane round trip
+            assert ticket.done
+            assert not store._inflight
+            assert plane.take_responses()[0].value == b"1"
+        finally:
+            store.close()
+
+    def test_pipeline_metrics_exported(self):
+        """ISSUE tentpole: per-stage ring timers and overlap gauges land
+        in the registry under their documented names."""
+        telemetry = configure_telemetry(enabled=True)
+        store = ProcShardStore(4 << 20, 2048, 2)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        try:
+            store.populate([(b"a", b"1")])
+            planes = [
+                BatchPlane([Query(QueryType.GET, b"a")]) for _ in range(2)
+            ]
+            tickets = [
+                engine.submit(store, plan, p, epoch=i)
+                for i, p in enumerate(planes)
+            ]
+            for ticket in tickets:
+                engine.collect(ticket)
+            snapshot = telemetry.registry.snapshot()
+            for name in (
+                "repro_procshard_encode_ns",
+                "repro_procshard_send_ns",
+                "repro_procshard_wait_ns",
+                "repro_procshard_decode_ns",
+                "repro_procshard_scatter_ns",
+                "repro_procshard_queue_depth_bytes",
+                "repro_procshard_inflight_windows",
+                "repro_procshard_overlap_ratio",
+            ):
+                assert name in snapshot, name
+        finally:
+            configure_telemetry(enabled=False)
+            store.close()
+
+
+class TestPipelinedCrash:
+    def test_midflight_kill_fills_every_inflight_window(self):
+        """ISSUE satellite: with two windows in flight against a dead
+        worker, both collects fill the dead shard's rows with ERROR —
+        no hang, and close() still unlinks every /dev/shm segment."""
+        before = shm_segments()
+        store = ProcShardStore(4 << 20, 2048, 2)
+        engine = ProcShardEngine()
+        plan = compile_stage_plan(megakv_coupled_config())
+        try:
+            keys = [b"key-%d" % i for i in range(40)]
+            store.populate([(k, b"v") for k in keys])
+            dead = store.workers[0]
+            os.kill(dead.process.pid, signal.SIGKILL)
+            dead.process.join(timeout=5.0)
+            planes, tickets = [], []
+            for epoch in (1, 2):
+                plane = BatchPlane([Query(QueryType.GET, k) for k in keys])
+                tickets.append(engine.submit(store, plan, plane, epoch=epoch))
+                planes.append(plane)
+            start = time.monotonic()
+            for ticket, plane in zip(tickets, planes):
+                engine.collect(ticket)
+                statuses = {r.status for r in plane.take_responses()}
+                assert ResponseStatus.ERROR in statuses  # dead shard's rows
+                assert ResponseStatus.OK in statuses  # live shard answered
+            assert time.monotonic() - start < 30.0  # dead ring aborts fast
+            assert store.ensure_workers() == [0]
+        finally:
+            store.close()
+        assert shm_segments() <= before
+
+
 # ------------------------------------------------------------------- server
 
 
@@ -486,6 +754,8 @@ class TestProcShardServer:
             batch_size=64, coalesce_us=500,
         )
         before = shm_segments()
+        # A procshard-backed system auto-enables double-buffered windows.
+        assert server._pipeline_depth == 2
         with server:
             server.start()
             with DidoClient(server.address, timeout_s=5.0) as client:
@@ -496,3 +766,9 @@ class TestProcShardServer:
         # stop() closed the default-created system: workers gone, arenas
         # unlinked (the SIGTERM-drain path exercises the same close()).
         assert shm_segments() <= before
+
+    def test_invalid_pipeline_depth_rejected(self):
+        from repro.server import DidoUDPServer
+
+        with pytest.raises(ConfigurationError):
+            DidoUDPServer(("127.0.0.1", 0), pipeline_depth=0)
